@@ -1,0 +1,375 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates the corresponding
+// result on a shared small corpus and reports the headline quantity via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. cmd/experiments runs the same computations at full scale with
+// rendered tables.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/hmm"
+	"repro/internal/loggen"
+	"repro/internal/markov"
+	"repro/internal/pairwise"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+var (
+	benchOnce   sync.Once
+	benchCorpus *experiments.Corpus
+	benchModels *experiments.Models
+	benchErr    error
+)
+
+func benchSetup(b *testing.B) (*experiments.Corpus, *experiments.Models) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCorpus, benchErr = experiments.BuildCorpus(experiments.SmallCorpusConfig())
+		if benchErr == nil {
+			benchModels = experiments.TrainModels(benchCorpus)
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCorpus, benchModels
+}
+
+// BenchmarkFig1PatternDistribution classifies 20k sessions into the seven
+// pattern types (Fig. 1) and reports the order-sensitive share.
+func BenchmarkFig1PatternDistribution(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig1(c, 20000)
+	}
+	b.ReportMetric(r.OrderSensitive, "order-sensitive-share")
+}
+
+// BenchmarkFig2Entropy computes the entropy-vs-context-length curve and
+// reports the drop from no context to 4 queries of context.
+func BenchmarkFig2Entropy(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2(c)
+	}
+	b.ReportMetric(r.Entropy[0]-r.Entropy[4], "entropy-drop-log10")
+}
+
+// BenchmarkTable4SessionStats collects the Table IV summary statistics.
+func BenchmarkTable4SessionStats(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table4(c)
+	}
+	b.ReportMetric(r.Train.MeanLength(), "mean-session-length")
+}
+
+// BenchmarkFig5LengthHistogram builds the pre-reduction length histograms.
+func BenchmarkFig5LengthHistogram(b *testing.B) {
+	c, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig5(c)
+	}
+}
+
+// BenchmarkFig6PowerLaw fits the aggregated-session rank/frequency power law
+// and reports the training slope.
+func BenchmarkFig6PowerLaw(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6(c)
+	}
+	b.ReportMetric(-r.TrainSlope, "neg-loglog-slope")
+	b.ReportMetric(r.TrainR2, "r-squared")
+}
+
+// BenchmarkFig7Reduction re-runs data reduction and the post-reduction
+// histograms, reporting retained session mass.
+func BenchmarkFig7Reduction(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.HistResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7(c)
+	}
+	b.ReportMetric(r.RetainedMass, "retained-mass")
+}
+
+// BenchmarkFig8Accuracy evaluates the pair-wise vs sequence NDCG@5 panel and
+// reports the MVMM-over-Adjacency advantage at context length 2.
+func BenchmarkFig8Accuracy(b *testing.B) {
+	c, m := benchSetup(b)
+	var panel experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		panel = experiments.Accuracy(c, m.Fig8Set(), 5)
+	}
+	idx := map[string]int{}
+	for i, name := range panel.Models {
+		idx[name] = i
+	}
+	b.ReportMetric(panel.NDCG[idx["MVMM"]][1]-panel.NDCG[idx["Adj."]][1], "mvmm-minus-adj-len2")
+}
+
+// BenchmarkFig9MVMMvsVMM evaluates the MVMM-vs-VMM NDCG@5 panel and reports
+// MVMM's mean NDCG across context lengths.
+func BenchmarkFig9MVMMvsVMM(b *testing.B) {
+	c, m := benchSetup(b)
+	var panel experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		panel = experiments.Accuracy(c, m.Fig9Set(), 5)
+	}
+	var mean float64
+	for _, v := range panel.NDCG[0] {
+		mean += v
+	}
+	b.ReportMetric(mean/float64(len(panel.NDCG[0])), "mvmm-mean-ndcg5")
+}
+
+// BenchmarkFig10Coverage measures overall coverage and reports MVMM's.
+func BenchmarkFig10Coverage(b *testing.B) {
+	c, m := benchSetup(b)
+	var r experiments.CoverageResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10(c, m)
+	}
+	for i, name := range r.Models {
+		if name == "MVMM" {
+			b.ReportMetric(r.Coverage[i], "mvmm-coverage")
+		}
+	}
+}
+
+// BenchmarkFig11CoverageByLength measures the coverage decay curves and
+// reports the N-gram length-4 / length-1 ratio (the collapse).
+func BenchmarkFig11CoverageByLength(b *testing.B) {
+	c, m := benchSetup(b)
+	var r experiments.CoverageByLenResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11(c, m)
+	}
+	for i, name := range r.Models {
+		if name == "N-gram" && r.Coverage[i][0] > 0 {
+			b.ReportMetric(r.Coverage[i][3]/r.Coverage[i][0], "ngram-len4-over-len1")
+		}
+	}
+}
+
+// BenchmarkTable6Reasons tallies the unpredictability-reason taxonomy.
+func BenchmarkTable6Reasons(b *testing.B) {
+	c, m := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table6(c, m)
+	}
+}
+
+// BenchmarkTable7Memory serializes every model and reports the MVMM/VMM
+// footprint ratio (paper: marginally more than a single VMM when merged).
+func BenchmarkTable7Memory(b *testing.B) {
+	_, m := benchSetup(b)
+	var r experiments.Table7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table7(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	size := map[string]int64{}
+	for i, name := range r.Models {
+		size[name] = r.Bytes[i]
+	}
+	if size["VMM (0)"] > 0 {
+		b.ReportMetric(float64(r.MVMMUnion)/float64(r.VMM00Size), "union-over-fulltree-nodes")
+	}
+}
+
+// BenchmarkFig12TrainingTime runs the training-time scaling sweep and
+// reports the worst max/min time-per-session ratio (1 = perfectly linear).
+func BenchmarkFig12TrainingTime(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12(c)
+	}
+	worst := 0.0
+	for i := range r.Models {
+		if ratio := r.LinearityRatio(i); ratio > worst {
+			worst = ratio
+		}
+	}
+	b.ReportMetric(worst, "worst-linearity-ratio")
+}
+
+// BenchmarkTable8UserStudy runs the simulated user evaluation (Table VIII,
+// Figs. 13-14) and reports MVMM's precision.
+func BenchmarkTable8UserStudy(b *testing.B) {
+	c, m := benchSetup(b)
+	var r experiments.StudyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.UserStudy(c, m, 200)
+	}
+	for _, ms := range r.Methods {
+		if ms.Name == "MVMM" {
+			b.ReportMetric(ms.Precision(), "mvmm-precision")
+		}
+	}
+}
+
+// --- micro-benchmarks for the core operations -------------------------------
+
+// BenchmarkTrainVMM measures single-VMM training throughput.
+func BenchmarkTrainVMM(b *testing.B) {
+	c, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markov.NewVMM(c.TrainAgg, markov.VMMConfig{Epsilon: 0.05, Vocab: c.Vocab()})
+	}
+	b.ReportMetric(float64(len(c.TrainAgg)), "sessions")
+}
+
+// BenchmarkTrainAdjacency measures baseline training throughput.
+func BenchmarkTrainAdjacency(b *testing.B) {
+	c, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairwise.NewAdjacency(c.TrainAgg, c.Vocab())
+	}
+}
+
+// BenchmarkPredictMVMM measures online prediction latency — the paper's
+// O(D) real-time claim (Sec. V.G: "constant time in D").
+func BenchmarkPredictMVMM(b *testing.B) {
+	c, m := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MVMM.Predict(ctxs[i%len(ctxs)], 5)
+	}
+}
+
+// BenchmarkPredictVMM measures single-VMM prediction latency.
+func BenchmarkPredictVMM(b *testing.B) {
+	c, m := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.VMM05.Predict(ctxs[i%len(ctxs)], 5)
+	}
+}
+
+// BenchmarkLogLossMVMM measures Eq. (1) evaluation throughput.
+func BenchmarkLogLossMVMM(b *testing.B) {
+	c, m := benchSetup(b)
+	sample := c.TestAgg
+	if len(sample) > 500 {
+		sample = sample[:500]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.LogLoss(m.MVMM, sample, c.Vocab())
+	}
+}
+
+// BenchmarkSerializeMVMM measures model persistence cost.
+func BenchmarkSerializeMVMM(b *testing.B) {
+	_, m := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Footprint(m.MVMM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogGeneration measures synthetic-log throughput (records/op).
+func BenchmarkLogGeneration(b *testing.B) {
+	cfg := loggen.DefaultConfig()
+	cfg.Universe.Topics = 60
+	gen, err := loggen.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls := gen.Session()
+		_ = gen.Records(ls)
+	}
+}
+
+// BenchmarkSeqKey measures the hot sequence-encoding path.
+func BenchmarkSeqKey(b *testing.B) {
+	s := query.Seq{1, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}
+
+// --- future-work extension benchmarks ---------------------------------------
+
+// BenchmarkExtensionHMM trains the hidden-intent HMM (the paper's Sec. VI
+// future-work model) and reports its final training log-likelihood.
+func BenchmarkExtensionHMM(b *testing.B) {
+	c, _ := benchSetup(b)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		m, err := hmm.Train(c.TrainAgg, hmm.DefaultConfig(c.Vocab()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ll := m.LogLikelihoods()
+		last = ll[len(ll)-1]
+	}
+	b.ReportMetric(last, "final-log10-likelihood")
+}
+
+// BenchmarkExtensionComparison runs the HMM/cluster-vs-MVMM comparison and
+// reports the MVMM-over-cluster NDCG@5 margin (the paper's Sec. II
+// replacement-vs-next-query critique).
+func BenchmarkExtensionComparison(b *testing.B) {
+	c, m := benchSetup(b)
+	var r experiments.ExtensionResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Extensions(c, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	idx := map[string]int{}
+	for i, name := range r.Models {
+		idx[name] = i
+	}
+	b.ReportMetric(r.NDCG5[idx["MVMM"]]-r.NDCG5[idx["Cluster"]], "mvmm-minus-cluster-ndcg5")
+}
+
+// BenchmarkExtensionDrift measures the retraining-frequency analysis and
+// reports the final-slice coverage advantage of retraining.
+func BenchmarkExtensionDrift(b *testing.B) {
+	c, _ := benchSetup(b)
+	var r experiments.DriftResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Drift(c, 2, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Slices - 1
+	b.ReportMetric(r.RetrCov[last]-r.StaleCov[last], "retrain-coverage-gain")
+}

@@ -1,0 +1,59 @@
+// Command loggen generates a synthetic search-engine log in the Table III
+// raw-record format, suitable for cmd/train.
+//
+// Usage:
+//
+//	loggen -sessions 100000 -out search.log [-seed 42] [-machines 4000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/logfmt"
+	"repro/internal/loggen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loggen: ")
+	var (
+		sessions = flag.Int("sessions", 100000, "number of user intent sessions to generate")
+		out      = flag.String("out", "-", "output file (- for stdout)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		machines = flag.Int("machines", 4000, "distinct machine IDs")
+		topics   = flag.Int("topics", 220, "latent topics in the query universe")
+	)
+	flag.Parse()
+
+	cfg := loggen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Machines = *machines
+	cfg.Universe.Topics = *topics
+	gen, err := loggen.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var f *os.File
+	if *out == "-" {
+		f = os.Stdout
+	} else {
+		f, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	w := logfmt.NewWriter(f)
+	if _, err := gen.GenerateRecords(*sessions, w.Write); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loggen: wrote %d records for %d sessions (universe: %d queries)\n",
+		w.Count(), *sessions, gen.Universe().NumQueries())
+}

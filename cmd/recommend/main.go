@@ -1,0 +1,66 @@
+// Command recommend serves interactive next-query recommendations from a
+// model trained by cmd/train. It reads one query per line from stdin,
+// maintains the running session context, and prints the top-N suggestions
+// after every query — the paper's online recommendation phase.
+//
+// Usage:
+//
+//	recommend -model model.bin [-n 5]
+//
+// Type queries one per line; a blank line resets the session context.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recommend: ")
+	var (
+		modelPath = flag.String("model", "model.bin", "model file from cmd/train")
+		topN      = flag.Int("n", 5, "number of suggestions per query")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "recommend: model loaded (%d known queries); enter queries, blank line resets session\n",
+		rec.Dict().Len())
+
+	var context []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		q := sc.Text()
+		if q == "" {
+			context = nil
+			fmt.Println("-- session reset --")
+			continue
+		}
+		context = append(context, q)
+		suggestions := rec.Recommend(context, *topN)
+		if len(suggestions) == 0 {
+			fmt.Printf("(no suggestions for context of %d queries)\n", len(context))
+			continue
+		}
+		for i, s := range suggestions {
+			fmt.Printf("%d. %-40s %.4g\n", i+1, s.Query, s.Score)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

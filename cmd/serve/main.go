@@ -1,0 +1,44 @@
+// Command serve exposes a trained recommendation model over HTTP — the
+// paper's real-time deployment scenario.
+//
+// Usage:
+//
+//	serve -model model.bin [-addr :8080] [-n 5]
+//
+// Then: curl 'localhost:8080/suggest?q=nokia+n73&q=nokia+n73+themes'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		modelPath = flag.String("model", "model.bin", "model file from cmd/train")
+		addr      = flag.String("addr", ":8080", "listen address")
+		topN      = flag.Int("n", 5, "default suggestion count")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("model loaded: %d known queries; listening on %s", rec.Dict().Len(), *addr)
+	if err := http.ListenAndServe(*addr, serve.NewHandler(rec, *topN)); err != nil {
+		log.Fatal(err)
+	}
+}

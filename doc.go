@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Web Query
+// Recommendation via Sequential Query Prediction" (He, Jiang, Liao, Hoi,
+// Chang, Lim, Li — ICDE 2009).
+//
+// The library implements the paper's complete system: the search-log
+// substrate (synthetic generator + raw-record format), the session pipeline
+// (30-minute segmentation, aggregation, reduction, context derivation), the
+// three sequential prediction models (variable-length N-gram, VMM via
+// Prediction Suffix Trees, and the MVMM mixture contribution), the two
+// pair-wise baselines (Adjacency, Co-occurrence), the evaluation stack
+// (NDCG, coverage, entropy, log-loss, simulated user study), and a benchmark
+// harness regenerating every table and figure of the paper's evaluation
+// section.
+//
+// Entry points: internal/core for the end-to-end recommender API,
+// cmd/experiments for the full evaluation harness, and bench_test.go for the
+// per-table/figure benchmarks. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

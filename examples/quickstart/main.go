@@ -1,0 +1,66 @@
+// Quickstart: train an MVMM recommender on a small synthetic log and ask it
+// for next-query suggestions — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/logfmt"
+	"repro/internal/loggen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a small synthetic search log (stand-in for real logs).
+	genCfg := loggen.DefaultConfig()
+	genCfg.Universe.Topics = 60
+	genCfg.Machines = 800
+	gen, err := loggen.New(genCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := logfmt.NewWriter(&buf)
+	if _, err := gen.GenerateRecords(30000, w.Write); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d raw log records\n", w.Count())
+
+	// 2. Train: 30-minute segmentation, aggregation, reduction, MVMM.
+	cfg := core.DefaultConfig()
+	cfg.ReductionThreshold = 1
+	cfg.Epsilons = []float64{0.0, 0.02, 0.05, 0.1} // smaller mixture for speed
+	rec, err := core.TrainFromLog(&buf, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := rec.Stats()
+	fmt.Printf("trained on %d sessions (%d unique queries, mean length %.2f)\n\n",
+		st.Sessions, st.UniqueQueries, st.MeanLength())
+
+	// 3. Recommend. Pick a real refinement chain from the generator's
+	// universe so the walk-through is meaningful.
+	topic := gen.Universe().Topics[0]
+	root := topic.Concepts[topic.Roots[0]]
+	context := []string{root.Typo} // user starts with a misspelling
+	for step := 0; step < 3; step++ {
+		fmt.Printf("session so far: %v\n", context)
+		suggestions := rec.Recommend(context, 5)
+		if len(suggestions) == 0 {
+			fmt.Println("  (no suggestions)")
+			break
+		}
+		for i, s := range suggestions {
+			fmt.Printf("  %d. %-44s %.4g\n", i+1, s.Query, s.Score)
+		}
+		// Follow the top suggestion, as a satisfied user would.
+		context = append(context, suggestions[0].Query)
+	}
+}

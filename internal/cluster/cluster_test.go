@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/query"
+)
+
+var t0 = time.Date(2026, 4, 1, 12, 0, 0, 0, time.UTC)
+
+func rec(q string, urls ...string) logfmt.Record {
+	r := logfmt.Record{MachineID: "m", Query: q, Time: t0}
+	for _, u := range urls {
+		r.Clicks = append(r.Clicks, logfmt.Click{URL: u, Time: t0.Add(time.Second)})
+	}
+	return r
+}
+
+// buildGraph creates two clean click clusters:
+// {java, java language, sun java} -> java.example
+// {kidney stones, kidney pain}    -> health.example
+func buildGraph(t *testing.T) (*ClickGraph, *query.Dict) {
+	t.Helper()
+	d := query.NewDict()
+	g := NewClickGraph(d)
+	for i := 0; i < 5; i++ {
+		g.Add(rec("java", "java.example/a", "java.example/b"))
+		g.Add(rec("java language", "java.example/a"))
+		g.Add(rec("sun java", "java.example/b"))
+		g.Add(rec("kidney stones", "health.example/k"))
+		g.Add(rec("kidney pain", "health.example/k"))
+	}
+	g.Add(rec("no clicks at all"))
+	return g, d
+}
+
+func TestClickGraphCounts(t *testing.T) {
+	g, _ := buildGraph(t)
+	if g.NumQueries() != 6 {
+		t.Fatalf("NumQueries = %d, want 6", g.NumQueries())
+	}
+}
+
+func TestClusteringGroupsByClicks(t *testing.T) {
+	g, d := buildGraph(t)
+	r := Build(g, DefaultConfig())
+	java, _ := d.Lookup("java")
+	lang, _ := d.Lookup("java language")
+	sun, _ := d.Lookup("sun java")
+	kidney, _ := d.Lookup("kidney stones")
+	pain, _ := d.Lookup("kidney pain")
+
+	if r.ClusterOf(java) != r.ClusterOf(lang) || r.ClusterOf(java) != r.ClusterOf(sun) {
+		t.Fatal("java-family queries not clustered together")
+	}
+	if r.ClusterOf(kidney) != r.ClusterOf(pain) {
+		t.Fatal("kidney queries not clustered together")
+	}
+	if r.ClusterOf(java) == r.ClusterOf(kidney) {
+		t.Fatal("unrelated clusters merged")
+	}
+	if r.NumClusters() < 2 {
+		t.Fatalf("clusters = %d", r.NumClusters())
+	}
+}
+
+func TestClusterRecommendations(t *testing.T) {
+	g, d := buildGraph(t)
+	r := Build(g, DefaultConfig())
+	java, _ := d.Lookup("java")
+	top := r.Predict(query.Seq{java}, 5)
+	if len(top) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, p := range top {
+		if p.Query == java {
+			t.Fatal("recommended the query itself")
+		}
+		s := d.String(p.Query)
+		if !strings.Contains(s, "java") {
+			t.Fatalf("cross-cluster recommendation %q", s)
+		}
+	}
+}
+
+func TestClusterCoverage(t *testing.T) {
+	g, d := buildGraph(t)
+	r := Build(g, DefaultConfig())
+	noClicks, _ := d.Lookup("no clicks at all")
+	if r.Covers(query.Seq{noClicks}) {
+		t.Fatal("click-less query covered")
+	}
+	if r.Covers(nil) {
+		t.Fatal("empty context covered")
+	}
+	java, _ := d.Lookup("java")
+	if !r.Covers(query.Seq{java}) {
+		t.Fatal("clustered query not covered")
+	}
+}
+
+func TestClusterProb(t *testing.T) {
+	g, d := buildGraph(t)
+	r := Build(g, DefaultConfig())
+	java, _ := d.Lookup("java")
+	kidney, _ := d.Lookup("kidney stones")
+	lang, _ := d.Lookup("java language")
+	if p := r.Prob(query.Seq{java}, lang); p <= 0 {
+		t.Fatalf("same-cluster prob = %v", p)
+	}
+	if p := r.Prob(query.Seq{java}, kidney); p != 0 {
+		t.Fatalf("cross-cluster prob = %v", p)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := map[string]uint64{"u": 3, "v": 4}
+	if got := cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine(a,a) = %v", got)
+	}
+	b := map[string]uint64{"w": 7}
+	if got := cosine(a, b); got != 0 {
+		t.Fatalf("disjoint cosine = %v", got)
+	}
+	if got := cosine(nil, a); got != 0 {
+		t.Fatalf("empty cosine = %v", got)
+	}
+	// Symmetry.
+	c := map[string]uint64{"u": 1, "w": 2}
+	if math.Abs(cosine(a, c)-cosine(c, a)) > 1e-12 {
+		t.Fatal("cosine not symmetric")
+	}
+}
+
+func TestAddAllFromStream(t *testing.T) {
+	var sb strings.Builder
+	w := logfmt.NewWriter(&sb)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(rec("streamed", "s.example/x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	d := query.NewDict()
+	g := NewClickGraph(d)
+	if err := g.AddAll(logfmt.NewReader(strings.NewReader(sb.String()))); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d", g.NumQueries())
+	}
+}
+
+func TestMinClicksFilters(t *testing.T) {
+	d := query.NewDict()
+	g := NewClickGraph(d)
+	g.Add(rec("rare", "r.example/x")) // one click only
+	r := Build(g, Config{MinSimilarity: 0.5, MinClicks: 2})
+	rare, _ := d.Lookup("rare")
+	if r.ClusterOf(rare) != -1 {
+		t.Fatal("under-clicked query entered a cluster")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	ids := []query.ID{1, 2, 3, 4}
+	uf := newUnionFind(ids)
+	uf.union(1, 2)
+	uf.union(3, 4)
+	if uf.find(1) != uf.find(2) || uf.find(3) != uf.find(4) {
+		t.Fatal("union failed")
+	}
+	if uf.find(1) == uf.find(3) {
+		t.Fatal("separate sets merged")
+	}
+	uf.union(2, 3)
+	if uf.find(1) != uf.find(4) {
+		t.Fatal("transitive union failed")
+	}
+}

@@ -1,0 +1,214 @@
+// Package core is the public facade of the reproduction: an end-to-end
+// query recommender that consumes raw search logs (or pre-segmented
+// sessions), runs the paper's data pipeline (30-minute segmentation,
+// aggregation, frequency-threshold reduction), trains the MVMM mixture, and
+// serves ranked next-query recommendations online.
+//
+// Typical usage:
+//
+//	rec, err := core.TrainFromLog(logFile, core.DefaultConfig())
+//	suggestions := rec.Recommend([]string{"nokia n73", "nokia n73 themes"}, 5)
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/markov"
+	"repro/internal/query"
+	"repro/internal/session"
+)
+
+// Config controls training.
+type Config struct {
+	// SessionGap is the segmentation threshold; 0 applies the paper's
+	// 30-minute rule.
+	SessionGap time.Duration
+	// ReductionThreshold drops aggregated sessions with frequency <= this
+	// value (the paper uses 5). Negative disables reduction.
+	ReductionThreshold int
+	// Epsilons lists the mixture's VMM growth thresholds; nil uses the
+	// paper's eleven values {0.0, 0.01, ..., 0.1}.
+	Epsilons []float64
+	// Mixture tunes σ learning and parallel component training.
+	Mixture markov.MVMMOptions
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		SessionGap:         session.DefaultGap,
+		ReductionThreshold: 5,
+		Epsilons:           markov.DefaultEpsilons(),
+		Mixture:            markov.MVMMOptions{Parallel: true},
+	}
+}
+
+// Suggestion is one recommended query with its mixture score.
+type Suggestion struct {
+	Query string
+	Score float64
+}
+
+// Recommender is a trained end-to-end query recommendation system.
+type Recommender struct {
+	dict  *query.Dict
+	mix   *markov.MVMM
+	stats session.Stats
+	cfg   Config
+}
+
+// TrainFromLog reads a raw search log (logfmt records), runs the full
+// pipeline and trains the MVMM.
+func TrainFromLog(r io.Reader, cfg Config) (*Recommender, error) {
+	dict := query.NewDict()
+	sessions, err := session.SegmentReader(logfmt.NewReader(r), dict, cfg.SessionGap)
+	if err != nil {
+		return nil, fmt.Errorf("core: segmenting log: %w", err)
+	}
+	return TrainFromSessions(dict, sessions, cfg), nil
+}
+
+// TrainFromSessions trains from already-segmented sessions whose queries
+// were interned into dict.
+func TrainFromSessions(dict *query.Dict, sessions []query.Seq, cfg Config) *Recommender {
+	agg := session.Aggregate(sessions)
+	if cfg.ReductionThreshold >= 0 {
+		agg, _ = session.Reduce(agg, uint64(cfg.ReductionThreshold))
+	}
+	return TrainFromAggregated(dict, agg, cfg)
+}
+
+// TrainFromAggregated trains from aggregated (sequence, frequency) sessions.
+// No further reduction is applied.
+func TrainFromAggregated(dict *query.Dict, agg []query.Session, cfg Config) *Recommender {
+	eps := cfg.Epsilons
+	if len(eps) == 0 {
+		eps = markov.DefaultEpsilons()
+	}
+	mix := markov.NewMVMMFromEpsilons(agg, eps, dict.Len(), cfg.Mixture)
+	return &Recommender{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg}
+}
+
+// Recommend returns up to n ranked query suggestions for the user's context
+// — the queries already issued this session, oldest first. Unknown context
+// queries are dropped (the MVMM's suffix matching and escape mechanism
+// handle the resulting shorter context); an empty or fully unknown context
+// yields no suggestions.
+func (r *Recommender) Recommend(context []string, n int) []Suggestion {
+	ctx := r.internContext(context)
+	if len(ctx) == 0 {
+		return nil
+	}
+	preds := r.mix.Predict(ctx, n)
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]Suggestion, len(preds))
+	for i, p := range preds {
+		out[i] = Suggestion{Query: r.dict.String(p.Query), Score: p.Score}
+	}
+	return out
+}
+
+// Probability returns the model's estimate that the user's next query is q
+// given the context.
+func (r *Recommender) Probability(context []string, q string) float64 {
+	ctx := r.internContext(context)
+	id, ok := r.dict.Lookup(q)
+	if !ok {
+		return 0
+	}
+	return r.mix.Prob(ctx, id)
+}
+
+// internContext resolves context strings to IDs, dropping unknown queries.
+func (r *Recommender) internContext(context []string) query.Seq {
+	ctx := make(query.Seq, 0, len(context))
+	for _, q := range context {
+		if id, ok := r.dict.Lookup(q); ok {
+			ctx = append(ctx, id)
+		}
+	}
+	return ctx
+}
+
+// Dict exposes the query dictionary.
+func (r *Recommender) Dict() *query.Dict { return r.dict }
+
+// Model exposes the trained mixture (for evaluation and persistence).
+func (r *Recommender) Model() *markov.MVMM { return r.mix }
+
+// Stats returns the training-collection statistics (Table IV shape).
+func (r *Recommender) Stats() session.Stats { return r.stats }
+
+const saveMagicV1 = "QRECV001"
+
+// Save persists the recommender (dictionary + mixture) to w. Each section
+// is length-prefixed so Load can hand each decoder a bounded reader
+// (decoders buffer internally and would otherwise read past their section).
+func (r *Recommender) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, saveMagicV1); err != nil {
+		return err
+	}
+	writeSection := func(name string, wt io.WriterTo) error {
+		var buf bytes.Buffer
+		if _, err := wt.WriteTo(&buf); err != nil {
+			return fmt.Errorf("core: saving %s: %w", name, err)
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], uint64(buf.Len()))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(buf.Bytes())
+		return err
+	}
+	if err := writeSection("dictionary", r.dict); err != nil {
+		return err
+	}
+	return writeSection("model", r.mix)
+}
+
+// Load restores a recommender written by Save.
+func Load(rd io.Reader) (*Recommender, error) {
+	magic := make([]byte, len(saveMagicV1))
+	if _, err := io.ReadFull(rd, magic); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	if string(magic) != saveMagicV1 {
+		return nil, fmt.Errorf("core: unrecognised model file header %q", magic)
+	}
+	section := func(name string) (io.Reader, error) {
+		var hdr [8]byte
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return nil, fmt.Errorf("core: reading %s header: %w", name, err)
+		}
+		n := binary.LittleEndian.Uint64(hdr[:])
+		if n > 1<<40 {
+			return nil, fmt.Errorf("core: implausible %s section of %d bytes", name, n)
+		}
+		return io.LimitReader(rd, int64(n)), nil
+	}
+	ds, err := section("dictionary")
+	if err != nil {
+		return nil, err
+	}
+	dict, err := query.ReadDict(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading dictionary: %w", err)
+	}
+	ms, err := section("model")
+	if err != nil {
+		return nil, err
+	}
+	mix, err := markov.ReadMVMM(ms)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	return &Recommender{dict: dict, mix: mix, cfg: DefaultConfig()}, nil
+}

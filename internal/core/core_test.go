@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/query"
+)
+
+// buildLog writes a tiny raw log with two machines and repeated refinement
+// sessions, repeated often enough to survive the default reduction.
+func buildLog(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	w := logfmt.NewWriter(&sb)
+	base := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	emit := func(machine string, start time.Time, queries ...string) {
+		for i, q := range queries {
+			err := w.Write(logfmt.Record{
+				MachineID: machine,
+				Query:     q,
+				Time:      start.Add(time.Duration(i) * time.Minute),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// 20 repetitions across two machines, separated by > 30 min.
+	for i := 0; i < 10; i++ {
+		at := base.Add(time.Duration(i) * time.Hour)
+		emit("m1", at, "nokia n73", "nokia n73 themes")
+		emit("m2", at.Add(10*time.Minute), "nokia n73", "nokia n73 themes")
+	}
+	for i := 0; i < 8; i++ {
+		at := base.Add(time.Duration(i)*time.Hour + 30*time.Minute)
+		emit("m1", at, "kidney stones", "kidney stone symptoms")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epsilons = []float64{0.0, 0.05}
+	cfg.Mixture.TrainSample = 100
+	cfg.Mixture.NewtonIters = 5
+	return cfg
+}
+
+func TestTrainFromLogAndRecommend(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Recommend([]string{"nokia n73"}, 5)
+	if len(got) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if got[0].Query != "nokia n73 themes" {
+		t.Fatalf("top recommendation = %q, want %q", got[0].Query, "nokia n73 themes")
+	}
+	if got[0].Score <= 0 {
+		t.Fatalf("score = %v", got[0].Score)
+	}
+}
+
+func TestRecommendEmptyOrUnknownContext(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Recommend(nil, 5); got != nil {
+		t.Fatalf("empty context recommended %v", got)
+	}
+	if got := rec.Recommend([]string{"completely unknown query"}, 5); got != nil {
+		t.Fatalf("unknown context recommended %v", got)
+	}
+}
+
+func TestReductionThresholdDropsRareSessions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ReductionThreshold = 100 // everything is rare at this threshold
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Recommend([]string{"nokia n73"}, 5); got != nil {
+		t.Fatalf("recommendations survived full reduction: %v", got)
+	}
+	if rec.Stats().Sessions != 0 {
+		t.Fatalf("stats sessions = %d after full reduction", rec.Stats().Sessions)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rec.Probability([]string{"nokia n73"}, "nokia n73 themes")
+	if p <= 0.5 {
+		t.Fatalf("P(themes | n73) = %v, want dominant", p)
+	}
+	if q := rec.Probability([]string{"nokia n73"}, "never seen"); q != 0 {
+		t.Fatalf("unknown target probability = %v", q)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rec.Recommend([]string{"kidney stones"}, 3)
+	b := loaded.Recommend([]string{"kidney stones"}, 3)
+	if len(a) != len(b) {
+		t.Fatalf("recommendation counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Query != b[i].Query {
+			t.Fatalf("recommendation %d differs: %q vs %q", i, a[i].Query, b[i].Query)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("this is not a model file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestTrainFromSessionsDirect(t *testing.T) {
+	d := query.NewDict()
+	a, b := d.Intern("smtp"), d.Intern("pop3")
+	var sessions []query.Seq
+	for i := 0; i < 10; i++ {
+		sessions = append(sessions, query.Seq{a, b})
+	}
+	rec := TrainFromSessions(d, sessions, smallConfig())
+	got := rec.Recommend([]string{"smtp"}, 1)
+	if len(got) != 1 || got[0].Query != "pop3" {
+		t.Fatalf("Recommend = %v", got)
+	}
+	if rec.Stats().Sessions != 10 {
+		t.Fatalf("Sessions = %d, want 10", rec.Stats().Sessions)
+	}
+	if rec.Dict() != d {
+		t.Fatal("Dict accessor broken")
+	}
+	if rec.Model() == nil {
+		t.Fatal("Model accessor broken")
+	}
+}
+
+func TestRecommendConcurrentReaders(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Recommend([]string{"nokia n73"}, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got := rec.Recommend([]string{"nokia n73"}, 5)
+				if len(got) != len(want) || got[0].Query != want[0].Query {
+					panic("concurrent recommendation diverged")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/loggen"
+	"repro/internal/session"
+)
+
+// Fig1Result is the distribution of the seven session-pattern types over a
+// sample of generated sessions (paper Fig. 1 / Table I).
+type Fig1Result struct {
+	Sample         int
+	Counts         [7]int
+	OrderSensitive float64 // spelling + generalization + specialization share
+}
+
+// Fig1 computes the pattern distribution over the first n labeled training
+// sessions (the paper sampled 20,000).
+func Fig1(c *Corpus, n int) Fig1Result {
+	if n <= 0 || n > len(c.TrainLabels) {
+		n = len(c.TrainLabels)
+	}
+	var res Fig1Result
+	res.Sample = n
+	for _, ls := range c.TrainLabels[:n] {
+		res.Counts[ls.Pattern]++
+	}
+	os := res.Counts[loggen.PatSpelling] + res.Counts[loggen.PatGeneralization] + res.Counts[loggen.PatSpecialization]
+	if n > 0 {
+		res.OrderSensitive = float64(os) / float64(n)
+	}
+	return res
+}
+
+// RenderFig1 prints the Fig. 1 distribution.
+func (r Fig1Result) Render(w io.Writer) {
+	heading(w, "Fig. 1 — Distribution of seven types of query session patterns")
+	max := 0.0
+	shares := make([]float64, 7)
+	for i, c := range r.Counts {
+		shares[i] = float64(c) / float64(r.Sample)
+		if shares[i] > max {
+			max = shares[i]
+		}
+	}
+	for i, s := range shares {
+		renderBar(w, loggen.PatternNames[i], s, max, 22)
+	}
+	fmt.Fprintf(w, "  order-sensitive total: %.2f%% (paper: 34.34%%)\n", 100*r.OrderSensitive)
+}
+
+// Fig2Result is the entropy-vs-context-length curve.
+type Fig2Result struct {
+	Entropy []float64 // index = context length
+}
+
+// Fig2 computes the average prediction entropy for context lengths 0..4
+// over the full (pre-reduction) training sessions.
+func Fig2(c *Corpus) Fig2Result {
+	return Fig2Result{Entropy: eval.ContextEntropy(c.TrainAggFull, 4)}
+}
+
+// Render prints the Fig. 2 curve.
+func (r Fig2Result) Render(w io.Writer) {
+	heading(w, "Fig. 2 — Average prediction entropy versus context length (log10)")
+	max := 0.0
+	for _, h := range r.Entropy {
+		if h > max {
+			max = h
+		}
+	}
+	for l, h := range r.Entropy {
+		renderBar(w, fmt.Sprintf("context length %d", l), h, max, 22)
+	}
+}
+
+// Table4Result is the Table IV summary statistics.
+type Table4Result struct {
+	Train, Test session.Stats
+}
+
+// Table4 summarises both windows before reduction.
+func Table4(c *Corpus) Table4Result {
+	return Table4Result{Train: session.Collect(c.TrainAggFull), Test: session.Collect(c.TestAggFull)}
+}
+
+// Render prints Table IV.
+func (r Table4Result) Render(w io.Writer) {
+	heading(w, "Table IV — Summary statistics of segmented sessions")
+	renderTable(w,
+		[]string{"Data", "# Sessions", "# Searches", "# Unique queries", "Mean length"},
+		[][]string{
+			{"training", fmt.Sprint(r.Train.Sessions), fmt.Sprint(r.Train.Searches), fmt.Sprint(r.Train.UniqueQueries), f2(r.Train.MeanLength())},
+			{"test", fmt.Sprint(r.Test.Sessions), fmt.Sprint(r.Test.Searches), fmt.Sprint(r.Test.UniqueQueries), f2(r.Test.MeanLength())},
+		})
+}
+
+// HistResult is a session-length histogram pair (Figs. 5 and 7).
+type HistResult struct {
+	Title         string
+	TrainL, TestL []int
+	TrainC, TestC []uint64
+	RetainedMass  float64 // only meaningful for Fig. 7
+}
+
+// Fig5 histograms session counts by length before reduction.
+func Fig5(c *Corpus) HistResult {
+	tr := session.Collect(c.TrainAggFull)
+	te := session.Collect(c.TestAggFull)
+	res := HistResult{Title: "Fig. 5 — Session count versus session length"}
+	res.TrainL, res.TrainC = tr.LengthBuckets()
+	res.TestL, res.TestC = te.LengthBuckets()
+	return res
+}
+
+// Fig7 histograms session counts by length after reduction.
+func Fig7(c *Corpus) HistResult {
+	tr := session.Collect(c.TrainAgg)
+	te := session.Collect(c.TestAgg)
+	res := HistResult{Title: "Fig. 7 — Session count versus session length after data reduction"}
+	res.TrainL, res.TrainC = tr.LengthBuckets()
+	res.TestL, res.TestC = te.LengthBuckets()
+	res.RetainedMass = c.RetainedMass
+	return res
+}
+
+// Render prints the histogram pair.
+func (r HistResult) Render(w io.Writer) {
+	heading(w, r.Title)
+	rows := [][]string{}
+	for i, l := range r.TrainL {
+		test := uint64(0)
+		for j, tl := range r.TestL {
+			if tl == l {
+				test = r.TestC[j]
+			}
+		}
+		rows = append(rows, []string{fmt.Sprint(l), fmt.Sprint(r.TrainC[i]), fmt.Sprint(test)})
+	}
+	renderTable(w, []string{"Length", "Train sessions", "Test sessions"}, rows)
+	if r.RetainedMass > 0 {
+		fmt.Fprintf(w, "  retained session mass after reduction: %.2f%% (paper: 60.48%% train / 64.72%% test)\n",
+			100*r.RetainedMass)
+	}
+}
+
+// Fig6Result summarises the power-law fit of aggregated session frequency.
+type Fig6Result struct {
+	TrainSlope, TrainR2 float64
+	TestSlope, TestR2   float64
+	TrainTop            []uint64 // top-of-curve sample
+}
+
+// Fig6 fits log-log rank/frequency lines for both windows.
+func Fig6(c *Corpus) Fig6Result {
+	trainRF := session.RankFrequency(c.TrainAggFull)
+	testRF := session.RankFrequency(c.TestAggFull)
+	var res Fig6Result
+	res.TrainSlope, res.TrainR2 = session.PowerLawFit(trainRF)
+	res.TestSlope, res.TestR2 = session.PowerLawFit(testRF)
+	n := 8
+	if len(trainRF) < n {
+		n = len(trainRF)
+	}
+	res.TrainTop = trainRF[:n]
+	return res
+}
+
+// Render prints the Fig. 6 fit.
+func (r Fig6Result) Render(w io.Writer) {
+	heading(w, "Fig. 6 — Power law distribution of unique aggregated sessions")
+	renderTable(w, []string{"Data", "log-log slope", "R^2"}, [][]string{
+		{"training", f4(r.TrainSlope), f4(r.TrainR2)},
+		{"test", f4(r.TestSlope), f4(r.TestR2)},
+	})
+	fmt.Fprintf(w, "  top training frequencies: %v\n", r.TrainTop)
+}
+
+// Table5 prints a handful of the most frequent multi-query sessions per
+// length, mirroring the paper's Table V sample sessions.
+func Table5(c *Corpus, w io.Writer) {
+	heading(w, "Table V — Sample sessions")
+	byLen := map[int]string{}
+	for _, s := range c.TrainAgg {
+		l := len(s.Queries)
+		if l < 2 || l > 5 {
+			continue
+		}
+		if _, ok := byLen[l]; !ok {
+			byLen[l] = s.Queries.Format(c.Dict)
+		}
+	}
+	lengths := make([]int, 0, len(byLen))
+	for l := range byLen {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	rows := [][]string{}
+	for _, l := range lengths {
+		rows = append(rows, []string{fmt.Sprint(l), byLen[l]})
+	}
+	renderTable(w, []string{"Length", "Session"}, rows)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/eval"
+	"repro/internal/query"
+)
+
+// StudyResult wraps the simulated user evaluation (Table VIII, Figs. 13–14).
+type StudyResult struct {
+	eval.StudyResult
+	Contexts int
+}
+
+// UserStudy reproduces the Sec. V.H procedure: 500 test contexts per
+// context length 1..4 (2,000 total at full scale), top-5 predictions from
+// each of the four methods, approval by the universe oracle, pooled
+// deduplicated ground truth.
+func UserStudy(c *Corpus, m *Models, perLength int) StudyResult {
+	if perLength <= 0 {
+		perLength = 500
+	}
+	// The paper sampled sequences from the raw test data, so the study uses
+	// the unreduced test contexts — including the rare, fused and noisy
+	// sessions real users produce.
+	var contexts []query.Seq
+	for l := 1; l <= MaxContextLen; l++ {
+		contexts = append(contexts, c.CoverageContexts(l, perLength)...)
+	}
+	res := eval.UserStudy(m.StudySet(), contexts, c.Dict, c.Universe, nil, 5)
+	return StudyResult{StudyResult: res, Contexts: len(contexts)}
+}
+
+// Render prints Table VIII and Figs. 13–14.
+func (r StudyResult) Render(w io.Writer) {
+	heading(w, "Table VIII — User labeling distribution over four methods")
+	headers := []string{""}
+	predicted := []string{"# predicted queries"}
+	approved := []string{"# approved queries"}
+	for _, m := range r.Methods {
+		headers = append(headers, m.Name)
+		predicted = append(predicted, fmt.Sprint(m.Predicted))
+		approved = append(approved, fmt.Sprint(m.Approved))
+	}
+	renderTable(w, headers, [][]string{predicted, approved})
+	fmt.Fprintf(w, "  contexts evaluated: %d; pooled unique approved (context,query) pairs: %d\n",
+		r.Contexts, r.UniqueGroundTruth)
+
+	heading(w, "Fig. 13 — Overall user evaluation performance")
+	rows := [][]string{}
+	for i, m := range r.Methods {
+		rows = append(rows, []string{m.Name, f4(m.Precision()), f4(r.Recall(i))})
+	}
+	renderTable(w, []string{"Model", "Precision", "Recall"}, rows)
+
+	heading(w, "Fig. 14 — Precision over top 5 positions")
+	headers = []string{"Model"}
+	for j := 1; j <= 5; j++ {
+		headers = append(headers, fmt.Sprintf("pos %d", j))
+	}
+	rows = rows[:0]
+	for _, m := range r.Methods {
+		row := []string{m.Name}
+		for j := 1; j <= 5; j++ {
+			row = append(row, f4(m.PrecisionAt(j)))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, headers, rows)
+}

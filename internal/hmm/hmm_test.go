@@ -1,0 +1,194 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// twoIntentSessions builds data with two clearly separable latent intents:
+// intent A emits queries {0,1,2}, intent B emits {5,6,7}, and sessions stay
+// within one intent.
+func twoIntentSessions() []query.Session {
+	return []query.Session{
+		{Queries: query.Seq{0, 1, 2}, Count: 40},
+		{Queries: query.Seq{1, 0, 2}, Count: 30},
+		{Queries: query.Seq{2, 1}, Count: 25},
+		{Queries: query.Seq{0, 2}, Count: 20},
+		{Queries: query.Seq{5, 6, 7}, Count: 40},
+		{Queries: query.Seq{6, 5, 7}, Count: 30},
+		{Queries: query.Seq{7, 6}, Count: 25},
+		{Queries: query.Seq{5, 7}, Count: 20},
+	}
+}
+
+func trainSmall(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train(twoIntentSessions(), Config{States: 4, Iterations: 30, Vocab: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{States: 0, Vocab: 5}); err == nil {
+		t.Error("accepted zero states")
+	}
+	if _, err := Train(nil, Config{States: 2, Vocab: 0}); err == nil {
+		t.Error("accepted zero vocab")
+	}
+}
+
+func TestEMLikelihoodNonDecreasing(t *testing.T) {
+	m := trainSmall(t)
+	ll := m.LogLikelihoods()
+	if len(ll) < 2 {
+		t.Fatalf("EM ran %d iterations", len(ll))
+	}
+	for i := 1; i < len(ll); i++ {
+		if ll[i] < ll[i-1]-1e-6 {
+			t.Fatalf("EM likelihood decreased at iteration %d: %v -> %v", i, ll[i-1], ll[i])
+		}
+	}
+}
+
+func TestHMMSeparatesIntents(t *testing.T) {
+	m := trainSmall(t)
+	// Given intent-A context, intent-A queries should dominate predictions.
+	top := m.Predict(query.Seq{0, 1}, 3)
+	if len(top) == 0 {
+		t.Fatal("no predictions")
+	}
+	for _, p := range top {
+		if p.Query >= 5 {
+			t.Fatalf("intent-A context predicted intent-B query %d: %v", p.Query, top)
+		}
+	}
+	// And vice versa.
+	top = m.Predict(query.Seq{5, 6}, 3)
+	for _, p := range top {
+		if p.Query <= 2 {
+			t.Fatalf("intent-B context predicted intent-A query %d: %v", p.Query, top)
+		}
+	}
+}
+
+func TestHMMProbFavoursSameIntent(t *testing.T) {
+	m := trainSmall(t)
+	pSame := m.Prob(query.Seq{0, 1}, 2)
+	pCross := m.Prob(query.Seq{0, 1}, 7)
+	if pSame <= pCross {
+		t.Fatalf("P(same-intent)=%v <= P(cross-intent)=%v", pSame, pCross)
+	}
+}
+
+func TestHMMProbIsDistribution(t *testing.T) {
+	m := trainSmall(t)
+	var sum float64
+	for q := query.ID(0); q < 8; q++ {
+		p := m.Prob(query.Seq{0, 1}, q)
+		if p < 0 {
+			t.Fatalf("negative probability for %d", q)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("next-query probabilities sum to %v", sum)
+	}
+}
+
+func TestHMMCoverage(t *testing.T) {
+	m := trainSmall(t)
+	if m.Covers(nil) {
+		t.Fatal("empty context covered")
+	}
+	if !m.Covers(query.Seq{1}) {
+		t.Fatal("seen query not covered")
+	}
+	if m.Covers(query.Seq{3}) { // ID 3 never occurs in training
+		t.Fatal("unseen query covered")
+	}
+	if m.Covers(query.Seq{99}) {
+		t.Fatal("out-of-vocab query covered")
+	}
+	if m.Predict(query.Seq{99}, 5) != nil {
+		t.Fatal("uncovered context produced predictions")
+	}
+}
+
+func TestHMMDeterministicGivenSeed(t *testing.T) {
+	cfg := Config{States: 4, Iterations: 10, Vocab: 8, Seed: 11}
+	a, err := Train(twoIntentSessions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Train(twoIntentSessions(), cfg)
+	pa := a.Predict(query.Seq{0, 1}, 3)
+	pb := b.Predict(query.Seq{0, 1}, 3)
+	if len(pa) != len(pb) {
+		t.Fatal("prediction counts differ across identical seeds")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("prediction %d differs: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestHMMHandlesOutOfVocabContext(t *testing.T) {
+	m := trainSmall(t)
+	// An unknown query inside the context must not panic or zero the pass.
+	top := m.Predict(query.Seq{999, 0, 1}, 3)
+	if len(top) == 0 {
+		t.Fatal("context with OOV prefix produced no predictions")
+	}
+}
+
+func TestForwardBackwardGammaNormalised(t *testing.T) {
+	m := trainSmall(t)
+	obs := query.Seq{0, 1, 2}
+	alpha, beta, _ := m.forwardBackward(obs)
+	for t2 := range obs {
+		var g float64
+		for i := 0; i < m.k; i++ {
+			g += alpha[t2][i] * beta[t2][i]
+		}
+		if math.Abs(g-1) > 1e-9 {
+			t.Fatalf("gamma at step %d sums to %v", t2, g)
+		}
+	}
+}
+
+func TestRowsAreDistributions(t *testing.T) {
+	m := trainSmall(t)
+	checkDist := func(name string, row []float64) {
+		t.Helper()
+		var sum float64
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("%s has negative entry", name)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s sums to %v", name, sum)
+		}
+	}
+	checkDist("pi", m.pi)
+	for i := 0; i < m.k; i++ {
+		checkDist("trans row", m.trans[i])
+		checkDist("emit row", m.emit[i])
+	}
+}
+
+func TestStatesAccessor(t *testing.T) {
+	m := trainSmall(t)
+	if m.States() != 4 {
+		t.Fatalf("States = %d", m.States())
+	}
+	if m.Name() != "HMM (4 states)" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,195 @@
+// Package logfmt implements the raw search-log record layout of the paper's
+// Table III and a streaming tab-separated encoding for it. A record is one
+// query event: the machine that issued it, the query string, the submission
+// timestamp, and zero or more clicked URLs each with its own click timestamp.
+package logfmt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Click is one clicked URL following a query, with its click timestamp.
+type Click struct {
+	URL  string
+	Time time.Time
+}
+
+// Record is one raw search-log row in the format of Table III.
+type Record struct {
+	MachineID string
+	Query     string
+	Time      time.Time
+	Clicks    []Click
+}
+
+// ErrMalformed is wrapped by all parse errors produced by this package.
+var ErrMalformed = errors.New("logfmt: malformed record")
+
+// timeLayout is the on-disk timestamp encoding: RFC3339 keeps records
+// human-inspectable while remaining unambiguous across days, unlike the
+// paper's clock-only "00:08:41" rendering.
+const timeLayout = time.RFC3339
+
+// Marshal encodes r as a single TSV line (without trailing newline):
+//
+//	machineID \t query \t timestamp \t nClicks [\t clickTime \t clickURL]...
+func Marshal(r Record) (string, error) {
+	if r.MachineID == "" {
+		return "", fmt.Errorf("%w: empty machine ID", ErrMalformed)
+	}
+	if strings.ContainsAny(r.MachineID, "\t\n") || strings.ContainsAny(r.Query, "\t\n") {
+		return "", fmt.Errorf("%w: field contains tab or newline", ErrMalformed)
+	}
+	var b strings.Builder
+	b.WriteString(r.MachineID)
+	b.WriteByte('\t')
+	b.WriteString(r.Query)
+	b.WriteByte('\t')
+	b.WriteString(r.Time.Format(timeLayout))
+	b.WriteByte('\t')
+	b.WriteString(strconv.Itoa(len(r.Clicks)))
+	for _, c := range r.Clicks {
+		if strings.ContainsAny(c.URL, "\t\n") {
+			return "", fmt.Errorf("%w: click URL contains tab or newline", ErrMalformed)
+		}
+		b.WriteByte('\t')
+		b.WriteString(c.Time.Format(timeLayout))
+		b.WriteByte('\t')
+		b.WriteString(c.URL)
+	}
+	return b.String(), nil
+}
+
+// Unmarshal parses one TSV line produced by Marshal.
+func Unmarshal(line string) (Record, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) < 4 {
+		return Record{}, fmt.Errorf("%w: %d fields, need at least 4", ErrMalformed, len(fields))
+	}
+	ts, err := time.Parse(timeLayout, fields[2])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: bad timestamp %q: %v", ErrMalformed, fields[2], err)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return Record{}, fmt.Errorf("%w: bad click count %q", ErrMalformed, fields[3])
+	}
+	if len(fields) != 4+2*n {
+		return Record{}, fmt.Errorf("%w: click count %d but %d trailing fields", ErrMalformed, n, len(fields)-4)
+	}
+	r := Record{MachineID: fields[0], Query: fields[1], Time: ts}
+	if n > 0 {
+		r.Clicks = make([]Click, n)
+		for i := 0; i < n; i++ {
+			ct, err := time.Parse(timeLayout, fields[4+2*i])
+			if err != nil {
+				return Record{}, fmt.Errorf("%w: bad click timestamp %q: %v", ErrMalformed, fields[4+2*i], err)
+			}
+			r.Clicks[i] = Click{Time: ct, URL: fields[5+2*i]}
+		}
+	}
+	return r, nil
+}
+
+// Writer streams records to an underlying io.Writer, one TSV line each.
+type Writer struct {
+	bw  *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a buffered record writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record. After the first error all subsequent writes fail
+// with the same error.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	line, err := Marshal(r)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.WriteString(line); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports the number of records successfully written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the internal buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Reader streams records from an underlying io.Reader.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a record reader over r. Lines up to 1 MiB are accepted.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next record, or io.EOF when the stream is exhausted.
+// Blank lines are skipped.
+func (r *Reader) Read() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimRight(r.sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		rec, err := Unmarshal(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll drains the stream into a slice. Intended for tests and small logs;
+// production paths should use Read in a loop.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,559 @@
+package loggen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+)
+
+func smallUniverse(t *testing.T) *Universe {
+	t.Helper()
+	u, err := NewUniverse(UniverseConfig{Topics: 5, RootsPerTopic: 4, ChainDepth: 2, SynonymFrac: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestNewUniverseValidation(t *testing.T) {
+	bad := []UniverseConfig{
+		{Topics: 0, RootsPerTopic: 1},
+		{Topics: 1, RootsPerTopic: 0},
+		{Topics: 1, RootsPerTopic: 1, ChainDepth: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewUniverse(cfg); err == nil {
+			t.Errorf("NewUniverse(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	cfg := UniverseConfig{Topics: 3, RootsPerTopic: 3, ChainDepth: 1, SynonymFrac: 0.5, Seed: 11}
+	a, _ := NewUniverse(cfg)
+	b, _ := NewUniverse(cfg)
+	qa, qb := a.Queries(), b.Queries()
+	if len(qa) != len(qb) {
+		t.Fatalf("sizes differ: %d vs %d", len(qa), len(qb))
+	}
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("query %d differs: %q vs %q", i, qa[i], qb[i])
+		}
+	}
+}
+
+func TestUniverseStructure(t *testing.T) {
+	u := smallUniverse(t)
+	if len(u.Topics) != 5 {
+		t.Fatalf("topics = %d, want 5", len(u.Topics))
+	}
+	for ti, topic := range u.Topics {
+		if len(topic.Roots) != 4 {
+			t.Fatalf("topic %d roots = %d, want 4", ti, len(topic.Roots))
+		}
+		for ci, c := range topic.Concepts {
+			if c.Topic != ti {
+				t.Fatalf("concept %d/%d wrong topic %d", ti, ci, c.Topic)
+			}
+			if c.Depth == 0 && c.Parent != -1 {
+				t.Fatalf("root %q has parent %d", c.Query, c.Parent)
+			}
+			if c.Depth > 0 {
+				parent := topic.Concepts[c.Parent]
+				if parent.Depth != c.Depth-1 {
+					t.Fatalf("depth chain broken at %q", c.Query)
+				}
+			}
+			for _, child := range c.Children {
+				if topic.Concepts[child].Parent != ci {
+					t.Fatalf("child/parent links inconsistent at %q", c.Query)
+				}
+			}
+		}
+	}
+}
+
+func TestRelateClassifiesEdges(t *testing.T) {
+	u := smallUniverse(t)
+	topic := u.Topics[0]
+	root := topic.Concepts[topic.Roots[0]]
+	if len(root.Children) == 0 {
+		t.Fatal("root has no specialisation chain")
+	}
+	child := topic.Concepts[root.Children[0]]
+
+	if got := u.Relate(root.Query, child.Query); got != RelSpecialize {
+		t.Errorf("root->child = %v, want specialize", got)
+	}
+	if got := u.Relate(child.Query, root.Query); got != RelGeneralize {
+		t.Errorf("child->root = %v, want generalize", got)
+	}
+	if got := u.Relate(root.Typo, root.Query); got != RelSpelling {
+		t.Errorf("typo->canonical = %v, want spelling", got)
+	}
+	if root.Synonym != "" {
+		if got := u.Relate(root.Synonym, root.Query); got != RelSynonym {
+			t.Errorf("synonym->canonical = %v, want synonym", got)
+		}
+	}
+	other := topic.Concepts[topic.Roots[1]]
+	if got := u.Relate(root.Query, other.Query); got != RelParallel {
+		t.Errorf("sibling roots = %v, want parallel", got)
+	}
+	cross := u.Topics[1].Concepts[u.Topics[1].Roots[0]]
+	if got := u.Relate(root.Query, cross.Query); got != RelNone {
+		t.Errorf("cross-topic = %v, want none", got)
+	}
+	if got := u.Relate("never seen", root.Query); got != RelNone {
+		t.Errorf("unknown query = %v, want none", got)
+	}
+}
+
+func TestRelatedLineageApprovedCrossLineageRejected(t *testing.T) {
+	u := smallUniverse(t)
+	topic := u.Topics[0]
+	root := topic.Concepts[topic.Roots[0]]
+	// Deep refinement of the SAME root: lineage, approved even without a
+	// direct parent edge.
+	deepIdx := deepest(&u.Topics[0], topic.Roots[0])
+	deep := topic.Concepts[deepIdx]
+	if deepIdx != topic.Roots[0] && !u.Related(root.Query, deep.Query) {
+		t.Fatal("deep refinement of the same root should be approved")
+	}
+	// Deep refinement of a DIFFERENT root: vague same-topic association,
+	// rejected by the oracle.
+	otherDeep := topic.Concepts[deepest(&u.Topics[0], topic.Roots[1])]
+	if otherDeep.Depth > 0 && u.Related(root.Query, otherDeep.Query) {
+		t.Fatal("cross-lineage same-topic suggestion should be rejected")
+	}
+	// Sibling roots remain approved (parallel movement).
+	sib := topic.Concepts[topic.Roots[1]]
+	if !u.Related(root.Query, sib.Query) {
+		t.Fatal("sibling roots should be approved (parallel move)")
+	}
+}
+
+func TestTypoOfDiffersFromOriginal(t *testing.T) {
+	u := smallUniverse(t)
+	for _, topic := range u.Topics {
+		for _, c := range topic.Concepts {
+			if c.Typo != "" && c.Typo == c.Query {
+				t.Fatalf("typo identical to query: %q", c.Query)
+			}
+		}
+	}
+}
+
+func TestSynonymOf(t *testing.T) {
+	if got := synonymOf("brooke army medical center"); got != "bamc" {
+		t.Fatalf("acronym = %q, want bamc", got)
+	}
+	if got := synonymOf("google"); got == "google" || got == "" {
+		t.Fatalf("single-word synonym = %q", got)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero machines")
+	}
+	cfg = DefaultConfig()
+	cfg.ZipfS = 1.0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted Zipf s = 1")
+	}
+	cfg = DefaultConfig()
+	cfg.PatternMix = [numPatterns]float64{}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero pattern mix")
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Universe = UniverseConfig{Topics: 20, RootsPerTopic: 5, ChainDepth: 2, SynonymFrac: 0.5, Seed: 3}
+	cfg.Machines = 50
+	cfg.Seed = 99
+	return cfg
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(testConfig())
+	for i := 0; i < 200; i++ {
+		a, b := g1.Session(), g2.Session()
+		if a.Machine != b.Machine || a.Pattern != b.Pattern || len(a.Queries) != len(b.Queries) {
+			t.Fatalf("session %d diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Queries {
+			if a.Queries[j] != b.Queries[j] {
+				t.Fatalf("session %d query %d: %q vs %q", i, j, a.Queries[j], b.Queries[j])
+			}
+		}
+	}
+}
+
+func TestSessionPatternsMatchLabels(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Universe()
+	// strip removes injected universal noise queries from either end so the
+	// pattern invariants can be checked on the intent core.
+	strip := func(qs []string) []string {
+		for len(qs) > 0 && u.IsUniversal(qs[0]) {
+			qs = qs[1:]
+		}
+		for len(qs) > 0 && u.IsUniversal(qs[len(qs)-1]) {
+			qs = qs[:len(qs)-1]
+		}
+		return qs
+	}
+	for i := 0; i < 2000; i++ {
+		ls := g.Session()
+		if len(ls.Queries) == 0 {
+			t.Fatal("empty session")
+		}
+		qs := strip(ls.Queries)
+		if len(qs) < 2 {
+			continue
+		}
+		switch ls.Pattern {
+		case PatSpelling:
+			rel := u.Relate(qs[0], qs[1])
+			if rel != RelSpelling {
+				t.Fatalf("spelling session %v has relation %v", qs, rel)
+			}
+		case PatGeneralization:
+			if u.IsGeneric(qs[0]) || u.IsGeneric(qs[1]) {
+				continue
+			}
+			rel := u.Relate(qs[0], qs[1])
+			if rel != RelGeneralize && qs[0] != qs[1] {
+				t.Fatalf("generalization session %v has relation %v", qs, rel)
+			}
+		case PatSpecialization:
+			for j := 1; j < len(qs); j++ {
+				// Generic mid-nodes are shared across topics, so their
+				// relation to this topic's queries is not well-defined.
+				if u.IsGeneric(qs[j-1]) || u.IsGeneric(qs[j]) {
+					continue
+				}
+				rel := u.Relate(qs[j-1], qs[j])
+				// These sessions may open with a typo correction, and the
+				// reconverging step onto the shared diamond node registers
+				// as a same-topic move rather than a parent edge.
+				if rel != RelSpecialize && rel != RelTopic && !(j == 1 && rel == RelSpelling) {
+					t.Fatalf("specialization step %v has relation %v", qs, rel)
+				}
+			}
+		case PatRepeated:
+			found := false
+			for j := 1; j < len(qs); j++ {
+				if qs[j] == qs[j-1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("repeated session %v has no adjacent repeat", qs)
+			}
+		}
+	}
+}
+
+func TestPatternMixConvergesToConfig(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var counts [numPatterns]int
+	for i := 0; i < n; i++ {
+		counts[g.Session().Pattern]++
+	}
+	for p, want := range DefaultPatternMix {
+		got := float64(counts[p]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("pattern %v frequency %.4f, want ~%.4f", Pattern(p), got, want)
+		}
+	}
+}
+
+func TestSessionLengthsShort(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, n := 0, 5000
+	for i := 0; i < n; i++ {
+		ls := g.Session()
+		total += len(ls.Queries)
+		if len(ls.Queries) > 8 {
+			t.Fatalf("implausibly long session: %d queries", len(ls.Queries))
+		}
+	}
+	mean := float64(total) / float64(n)
+	if mean < 1.5 || mean > 3.5 {
+		t.Fatalf("mean session length %.2f outside the paper's 2-3 band", mean)
+	}
+}
+
+func TestRecordsExpansion(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := g.Session()
+	recs := g.Records(ls)
+	if len(recs) != len(ls.Queries) {
+		t.Fatalf("records = %d, queries = %d", len(recs), len(ls.Queries))
+	}
+	for i, r := range recs {
+		if r.MachineID != ls.Machine {
+			t.Fatalf("record %d machine %q, want %q", i, r.MachineID, ls.Machine)
+		}
+		if r.Query != ls.Queries[i] {
+			t.Fatalf("record %d query %q, want %q", i, r.Query, ls.Queries[i])
+		}
+		if i > 0 {
+			gap := r.Time.Sub(recs[i-1].Time)
+			if gap <= 0 || gap >= 30*time.Minute {
+				t.Fatalf("intra-session gap %v violates segmentation invariant", gap)
+			}
+		}
+		for _, c := range r.Clicks {
+			if c.Time.Before(r.Time) {
+				t.Fatalf("click before query: %v < %v", c.Time, r.Time)
+			}
+		}
+	}
+}
+
+func TestGenerateRecordsEmitsAll(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []logfmt.Record
+	sessions, err := g.GenerateRecords(100, func(r logfmt.Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range sessions {
+		want += len(s.Queries)
+	}
+	if len(got) != want {
+		t.Fatalf("emitted %d records, want %d", len(got), want)
+	}
+}
+
+func TestQueryPopularityIsSkewed(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	total := 0
+	for i := 0; i < 5000; i++ {
+		for _, q := range g.Session().Queries {
+			counts[q]++
+			total++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Under a Zipf head, the most popular query should dwarf the mean.
+	mean := float64(total) / float64(len(counts))
+	if float64(max) < 5*mean {
+		t.Fatalf("popularity not skewed: max=%d mean=%.1f", max, mean)
+	}
+}
+
+func TestLateTopicsAbsentFromTrainingPhase(t *testing.T) {
+	cfg := testConfig()
+	cfg.LateTopicEvery = 5
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := map[int]bool{}
+	for ti := range g.Universe().Topics {
+		if ti%5 == 1 {
+			late[ti] = true
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		if ls := g.Session(); late[ls.Topic] {
+			t.Fatalf("late topic %d emitted during training phase", ls.Topic)
+		}
+	}
+	g.EnterTestPhase()
+	seenLate := false
+	for i := 0; i < 6000 && !seenLate; i++ {
+		if late[g.Session().Topic] {
+			seenLate = true
+		}
+	}
+	if !seenLate {
+		t.Fatal("late topics never emitted after EnterTestPhase")
+	}
+}
+
+func TestNoiseInjectionRate(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseProb = 0.3
+	cfg.Universe.Universals = 10
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Universe()
+	const n = 8000
+	noisy := 0
+	for i := 0; i < n; i++ {
+		ls := g.Session()
+		if u.IsUniversal(ls.Queries[0]) || u.IsUniversal(ls.Queries[len(ls.Queries)-1]) {
+			noisy++
+		}
+	}
+	got := float64(noisy) / n
+	if math.Abs(got-0.3) > 0.03 {
+		t.Fatalf("noise rate = %.3f, want ~0.30", got)
+	}
+}
+
+func TestNoiseDisabledWithZeroUniversals(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseProb = 1.0
+	cfg.Universe.Universals = 0
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Universe()
+	for i := 0; i < 500; i++ {
+		for _, q := range g.Session().Queries {
+			if u.IsUniversal(q) {
+				t.Fatal("universal query emitted with empty pool")
+			}
+		}
+	}
+}
+
+func TestUniversalQueriesRelatedToNothing(t *testing.T) {
+	cfg := DefaultUniverseConfig()
+	cfg.Topics = 10
+	u, err := NewUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Universal) == 0 {
+		t.Fatal("no universal queries generated")
+	}
+	root := u.Topics[0].Concepts[u.Topics[0].Roots[0]]
+	for _, uq := range u.Universal {
+		if !u.IsUniversal(uq) {
+			t.Fatalf("IsUniversal(%q) = false", uq)
+		}
+		if u.Related(root.Query, uq) || u.Related(uq, root.Query) {
+			t.Fatalf("universal %q related to topical query", uq)
+		}
+	}
+}
+
+func TestDiamondLatticeStructure(t *testing.T) {
+	cfg := DefaultUniverseConfig()
+	cfg.Topics = 8
+	u, err := NewUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a root with the full diamond: two depth-1 children both pointing
+	// to a shared depth-2 node with two depth-3 children.
+	found := false
+	for _, topic := range u.Topics {
+		for _, ri := range topic.Roots {
+			root := topic.Concepts[ri]
+			if len(root.Children) < 2 {
+				continue
+			}
+			c1a := topic.Concepts[root.Children[0]]
+			c1b := topic.Concepts[root.Children[1]]
+			if len(c1a.Children) == 0 || len(c1b.Children) == 0 {
+				continue
+			}
+			if c1a.Children[0] != c1b.Children[0] {
+				continue // not reconverging
+			}
+			m := topic.Concepts[c1a.Children[0]]
+			if m.Depth != 2 || len(m.Children) < 2 {
+				continue
+			}
+			found = true
+			// Deep children are lineage of the root under the oracle.
+			deep := topic.Concepts[m.Children[0]]
+			if !u.Related(root.Query, deep.Query) {
+				t.Fatalf("diamond leaf %q not lineage of root %q", deep.Query, root.Query)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no complete diamond lattice found in universe")
+	}
+}
+
+func TestGenericMidNodesShared(t *testing.T) {
+	cfg := DefaultUniverseConfig()
+	cfg.Topics = 40
+	u, err := NewUniverse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count how many topics use each generic string as a mid-node.
+	uses := map[string]int{}
+	for _, topic := range u.Topics {
+		for _, c := range topic.Concepts {
+			if c.Depth == 2 && u.IsGeneric(c.Query) {
+				uses[c.Query]++
+			}
+		}
+	}
+	shared := 0
+	for _, n := range uses {
+		if n >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no generic query shared across topics — the ambiguity mechanism is dead")
+	}
+}
+
+func TestRelatedRejectsTypoCandidates(t *testing.T) {
+	u := smallUniverse(t)
+	topic := u.Topics[0]
+	root := topic.Concepts[topic.Roots[0]]
+	if !u.Related(root.Typo, root.Query) {
+		t.Fatal("typo -> canonical correction should be approved")
+	}
+	if u.Related(root.Query, root.Typo) {
+		t.Fatal("recommending a misspelling should be rejected")
+	}
+}

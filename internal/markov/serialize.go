@@ -1,0 +1,231 @@
+package markov
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Serialization magics.
+const (
+	magicNGram = "NGRM"
+	magicVMM   = "VMMT"
+	magicMVMM  = "MVMX"
+	magicDist  = "DIST"
+	magicEsc   = "ESCT"
+)
+
+// WriteDist encodes a distribution; exported for the pairwise package.
+func WriteDist(w *store.Writer, d *Dist) {
+	w.Magic(magicDist)
+	w.Int(d.Support())
+	for _, q := range d.Queries() {
+		w.Uvarint(uint64(q))
+		w.Uvarint(d.counts[q])
+	}
+}
+
+// ReadDist decodes a distribution written by WriteDist.
+func ReadDist(r *store.Reader) *Dist {
+	r.Magic(magicDist)
+	n := r.Int()
+	d := NewDist()
+	for i := 0; i < n; i++ {
+		q := query.ID(r.Uvarint())
+		c := r.Uvarint()
+		if r.Err() != nil {
+			return d
+		}
+		d.Add(q, c)
+	}
+	return d
+}
+
+func sortedKeys(m map[string]*Dist) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteTo serializes the N-gram model. It implements io.WriterTo.
+func (m *NGram) WriteTo(w io.Writer) (int64, error) {
+	sw := store.NewWriter(w)
+	sw.Magic(magicNGram)
+	sw.Int(m.vocab)
+	sw.Int(m.maxN)
+	sw.Int(len(m.states))
+	for _, k := range sortedKeys(m.states) {
+		sw.String(k)
+		WriteDist(sw, m.states[k])
+	}
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+// ReadNGram decodes a model written by (*NGram).WriteTo.
+func ReadNGram(r io.Reader) (*NGram, error) {
+	sr := store.NewReader(r)
+	sr.Magic(magicNGram)
+	m := &NGram{states: make(map[string]*Dist)}
+	m.vocab = sr.Int()
+	m.maxN = sr.Int()
+	n := sr.Int()
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		k := sr.String()
+		m.states[k] = ReadDist(sr)
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	m.freeze()
+	return m, nil
+}
+
+func writeEscape(sw *store.Writer, t *EscapeTable) {
+	sw.Magic(magicEsc)
+	sw.Int(t.maxLen)
+	keys := make([]string, 0, len(t.occ))
+	for k := range t.occ {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sw.Int(len(keys))
+	for _, k := range keys {
+		sw.String(k)
+		sw.Uvarint(t.occ[k])
+		sw.Uvarint(t.startOcc[k])
+	}
+}
+
+func readEscape(sr *store.Reader) *EscapeTable {
+	sr.Magic(magicEsc)
+	t := &EscapeTable{occ: make(map[string]uint64), startOcc: make(map[string]uint64)}
+	t.maxLen = sr.Int()
+	n := sr.Int()
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		k := sr.String()
+		t.occ[k] = sr.Uvarint()
+		if s := sr.Uvarint(); s > 0 {
+			t.startOcc[k] = s
+		}
+	}
+	return t
+}
+
+func (m *VMM) writeBody(sw *store.Writer) {
+	sw.Magic(magicVMM)
+	sw.Float64(m.cfg.Epsilon)
+	sw.Int(m.cfg.D)
+	sw.Uvarint(m.cfg.MinSupport)
+	sw.Int(m.cfg.Vocab)
+	sw.Int(m.depth)
+	WriteDist(sw, m.root)
+	sw.Int(len(m.nodes))
+	for _, k := range sortedKeys(m.nodes) {
+		sw.String(k)
+		WriteDist(sw, m.nodes[k])
+	}
+	writeEscape(sw, m.esc)
+}
+
+func readVMMBody(sr *store.Reader) *VMM {
+	sr.Magic(magicVMM)
+	m := &VMM{nodes: make(map[string]*Dist)}
+	m.cfg.Epsilon = sr.Float64()
+	m.cfg.D = sr.Int()
+	m.cfg.MinSupport = sr.Uvarint()
+	m.cfg.Vocab = sr.Int()
+	m.depth = sr.Int()
+	m.root = ReadDist(sr)
+	n := sr.Int()
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		k := sr.String()
+		m.nodes[k] = ReadDist(sr)
+	}
+	m.esc = readEscape(sr)
+	return m
+}
+
+// WriteTo serializes the VMM (tree, root prior and escape table).
+func (m *VMM) WriteTo(w io.Writer) (int64, error) {
+	sw := store.NewWriter(w)
+	m.writeBody(sw)
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+// ReadVMM decodes a model written by (*VMM).WriteTo.
+func ReadVMM(r io.Reader) (*VMM, error) {
+	sr := store.NewReader(r)
+	m := readVMMBody(sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	m.freeze()
+	return m, nil
+}
+
+// WriteTo serializes the mixture: every component plus the learned sigmas.
+func (m *MVMM) WriteTo(w io.Writer) (int64, error) {
+	sw := store.NewWriter(w)
+	sw.Magic(magicMVMM)
+	sw.Int(len(m.comps))
+	for _, c := range m.comps {
+		c.writeBody(sw)
+	}
+	for _, s := range m.sigma {
+		sw.Float64(s)
+	}
+	sw.Int(m.vocab)
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+// ReadMVMM decodes a mixture written by (*MVMM).WriteTo.
+func ReadMVMM(r io.Reader) (*MVMM, error) {
+	sr := store.NewReader(r)
+	sr.Magic(magicMVMM)
+	k := sr.Int()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	if k > 1024 {
+		return nil, fmt.Errorf("store: implausible component count %d", k)
+	}
+	m := &MVMM{comps: make([]*VMM, k), sigma: make([]float64, k)}
+	for i := 0; i < k && sr.Err() == nil; i++ {
+		m.comps[i] = readVMMBody(sr)
+	}
+	for i := 0; i < k && sr.Err() == nil; i++ {
+		m.sigma[i] = sr.Float64()
+	}
+	m.vocab = sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	for _, c := range m.comps {
+		c.freeze()
+	}
+	return m, nil
+}

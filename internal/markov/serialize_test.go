@@ -1,0 +1,158 @@
+package markov
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+func TestNGramSerializeRoundTrip(t *testing.T) {
+	m := NewNGram(ngramTrainingSessions(), 8)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNGram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != m.NumStates() || got.MaxOrder() != m.MaxOrder() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.NumStates(), got.MaxOrder(), m.NumStates(), m.MaxOrder())
+	}
+	for _, ctx := range []query.Seq{{1}, {1, 2}, {2}} {
+		a, b := m.Predict(ctx, 5), got.Predict(ctx, 5)
+		if len(a) != len(b) {
+			t.Fatalf("prediction count differs on %v", ctx)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("prediction %d differs on %v: %v vs %v", i, ctx, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestVMMSerializeRoundTrip(t *testing.T) {
+	m := NewVMM(paperToySessions(), VMMConfig{Epsilon: 0.1, D: 2, Vocab: 2})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVMM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != m.NumNodes() || got.Depth() != m.Depth() {
+		t.Fatalf("tree shape mismatch")
+	}
+	if got.Config() != m.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Config(), m.Config())
+	}
+	seq := query.Seq{0, 1, 0, 1, 1, 0}
+	for i := 1; i < len(seq); i++ {
+		a := m.Prob(seq[:i], seq[i])
+		b := got.Prob(seq[:i], seq[i])
+		if a != b {
+			t.Fatalf("step %d prob differs: %v vs %v", i, a, b)
+		}
+		if ea, eb := m.ProbEscape(seq[:i], seq[i]), got.ProbEscape(seq[:i], seq[i]); ea != eb {
+			t.Fatalf("step %d escape prob differs: %v vs %v", i, ea, eb)
+		}
+	}
+}
+
+func TestMVMMSerializeRoundTrip(t *testing.T) {
+	m := NewMVMMFromEpsilons(mvmmSessions(), []float64{0.0, 0.05}, 10,
+		MVMMOptions{TrainSample: 50, NewtonIters: 5})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMVMM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Components()) != 2 {
+		t.Fatalf("components = %d", len(got.Components()))
+	}
+	sa, sb := m.Sigmas(), got.Sigmas()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sigma %d differs: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+	for _, ctx := range []query.Seq{{1, 2}, {4, 2}, {2}} {
+		a, b := m.Predict(ctx, 3), got.Predict(ctx, 3)
+		if len(a) != len(b) {
+			t.Fatalf("prediction count differs on %v", ctx)
+		}
+		for i := range a {
+			if a[i].Query != b[i].Query {
+				t.Fatalf("prediction differs on %v: %v vs %v", ctx, a, b)
+			}
+		}
+	}
+}
+
+func TestReadVMMRejectsCorruptStream(t *testing.T) {
+	m := NewVMM(paperToySessions(), VMMConfig{Epsilon: 0.1, D: 2, Vocab: 2})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadVMM(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt VMM stream accepted")
+	}
+}
+
+func TestReadNGramRejectsWrongMagic(t *testing.T) {
+	m := NewVMM(paperToySessions(), VMMConfig{Epsilon: 0.1, Vocab: 2})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadNGram(&buf); err == nil {
+		t.Fatal("VMM stream accepted as N-gram")
+	}
+}
+
+func TestFootprintOrderingMatchesModelSize(t *testing.T) {
+	sessions := mvmmSessions()
+	full := NewVMM(sessions, VMMConfig{Epsilon: 0, Vocab: 10})
+	pruned := NewVMM(sessions, VMMConfig{Epsilon: 0.5, Vocab: 10})
+	fFull, err := store.Footprint(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPruned, err := store.Footprint(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fFull < fPruned {
+		t.Fatalf("full tree footprint %d < pruned %d", fFull, fPruned)
+	}
+}
+
+func TestDistSerializeRoundTrip(t *testing.T) {
+	d := NewDist()
+	d.Add(3, 10)
+	d.Add(1, 5)
+	var buf bytes.Buffer
+	sw := store.NewWriter(&buf)
+	WriteDist(sw, d)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sr := store.NewReader(&buf)
+	got := ReadDist(sr)
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != 15 || got.Count(3) != 10 || got.Count(1) != 5 {
+		t.Fatalf("round trip dist = %+v", got)
+	}
+}

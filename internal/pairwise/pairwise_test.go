@@ -1,0 +1,136 @@
+package pairwise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func trainingSessions() []query.Session {
+	return []query.Session{
+		{Queries: query.Seq{1, 2, 3}, Count: 10},
+		{Queries: query.Seq{1, 4}, Count: 5},
+		{Queries: query.Seq{2, 3}, Count: 8},
+		{Queries: query.Seq{7}, Count: 3}, // singleton: invisible to both models
+	}
+}
+
+func TestAdjacencyRanksImmediateFollowers(t *testing.T) {
+	m := NewAdjacency(trainingSessions(), 8)
+	top := m.Predict(query.Seq{1}, 5)
+	if len(top) != 2 {
+		t.Fatalf("predictions = %v", top)
+	}
+	// Followers of 1: 2 (x10), 4 (x5).
+	if top[0].Query != 2 || top[1].Query != 4 {
+		t.Fatalf("ranking = %v", top)
+	}
+	if math.Abs(top[0].Score-10.0/15) > 1e-12 {
+		t.Fatalf("score = %v", top[0].Score)
+	}
+}
+
+func TestAdjacencyUsesOnlyLastQuery(t *testing.T) {
+	m := NewAdjacency(trainingSessions(), 8)
+	long := m.Predict(query.Seq{9, 9, 9, 1}, 5)
+	short := m.Predict(query.Seq{1}, 5)
+	if len(long) != len(short) {
+		t.Fatalf("context length changed adjacency predictions: %v vs %v", long, short)
+	}
+	for i := range long {
+		if long[i].Query != short[i].Query {
+			t.Fatalf("adjacency depends on more than the last query")
+		}
+	}
+}
+
+func TestAdjacencyOrderSensitive(t *testing.T) {
+	m := NewAdjacency(trainingSessions(), 8)
+	// 3 only appears in final positions: no followers, not covered.
+	if m.Covers(query.Seq{3}) {
+		t.Fatal("query with no followers should not be covered by Adjacency")
+	}
+}
+
+func TestCooccurrenceIgnoresOrder(t *testing.T) {
+	m := NewCooccurrence(trainingSessions(), 8)
+	// 3 co-occurs with 1 and 2 even though it is always last: covered.
+	if !m.Covers(query.Seq{3}) {
+		t.Fatal("Co-occurrence should cover final-position queries")
+	}
+	top := m.Predict(query.Seq{3}, 5)
+	// Co-occurring with 3: 2 (10+8=18), 1 (10).
+	if len(top) != 2 || top[0].Query != 2 || top[1].Query != 1 {
+		t.Fatalf("co-occurrence ranking = %v", top)
+	}
+}
+
+func TestCooccurrenceCoverageSupersetOfAdjacency(t *testing.T) {
+	adj := NewAdjacency(trainingSessions(), 8)
+	co := NewCooccurrence(trainingSessions(), 8)
+	for q := query.ID(0); q < 10; q++ {
+		ctx := query.Seq{q}
+		if adj.Covers(ctx) && !co.Covers(ctx) {
+			t.Fatalf("Adjacency covers %v but Co-occurrence does not", ctx)
+		}
+	}
+}
+
+func TestPairwiseSingletonSessionsExcluded(t *testing.T) {
+	adj := NewAdjacency(trainingSessions(), 8)
+	co := NewCooccurrence(trainingSessions(), 8)
+	if adj.Covers(query.Seq{7}) || co.Covers(query.Seq{7}) {
+		t.Fatal("singleton-session query covered (Table VI reason 2)")
+	}
+}
+
+func TestPairwiseEmptyContext(t *testing.T) {
+	adj := NewAdjacency(trainingSessions(), 8)
+	co := NewCooccurrence(trainingSessions(), 8)
+	if adj.Covers(nil) || co.Covers(nil) {
+		t.Fatal("empty context covered")
+	}
+	if adj.Predict(nil, 5) != nil || co.Predict(nil, 5) != nil {
+		t.Fatal("empty context produced predictions")
+	}
+	if adj.Prob(nil, 1) != 0 || co.Prob(nil, 1) != 0 {
+		t.Fatal("empty context has nonzero probability")
+	}
+}
+
+func TestPairwiseProbSmoothing(t *testing.T) {
+	m := NewAdjacency(trainingSessions(), 8)
+	if p := m.Prob(query.Seq{1}, 6); p <= 0 {
+		t.Fatalf("unobserved follower prob = %v, want smoothed > 0", p)
+	}
+	var sum float64
+	for q := query.ID(0); q < 8; q++ {
+		sum += m.Prob(query.Seq{1}, q)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("smoothed probabilities sum to %v", sum)
+	}
+}
+
+func TestNumStates(t *testing.T) {
+	adj := NewAdjacency(trainingSessions(), 8)
+	// Queries with followers: 1, 2.
+	if adj.NumStates() != 2 {
+		t.Fatalf("Adjacency states = %d, want 2", adj.NumStates())
+	}
+	co := NewCooccurrence(trainingSessions(), 8)
+	// Queries in multi-query sessions: 1, 2, 3, 4.
+	if co.NumStates() != 4 {
+		t.Fatalf("Co-occurrence states = %d, want 4", co.NumStates())
+	}
+}
+
+func TestCooccurrenceWeighting(t *testing.T) {
+	m := NewCooccurrence(trainingSessions(), 8)
+	top := m.Predict(query.Seq{2}, 5)
+	// Co-occurring with 2: 3 (10+8=18), 1 (10).
+	if top[0].Query != 3 || top[1].Query != 1 {
+		t.Fatalf("ranking = %v", top)
+	}
+}

@@ -1,0 +1,84 @@
+package pairwise
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/markov"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+const (
+	magicAdj = "ADJQ"
+	magicCo  = "COOC"
+)
+
+func writePairwise(w io.Writer, magic string, vocab int, m map[query.ID]*markov.Dist) (int64, error) {
+	sw := store.NewWriter(w)
+	sw.Magic(magic)
+	sw.Int(vocab)
+	keys := make([]query.ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sw.Int(len(keys))
+	for _, k := range keys {
+		sw.Uvarint(uint64(k))
+		markov.WriteDist(sw, m[k])
+	}
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+func readPairwise(r io.Reader, magic string) (int, map[query.ID]*markov.Dist, error) {
+	sr := store.NewReader(r)
+	sr.Magic(magic)
+	vocab := sr.Int()
+	n := sr.Int()
+	m := make(map[query.ID]*markov.Dist, n)
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		k := query.ID(sr.Uvarint())
+		m[k] = markov.ReadDist(sr)
+	}
+	if err := sr.Err(); err != nil {
+		return 0, nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return 0, nil, err
+	}
+	return vocab, m, nil
+}
+
+// WriteTo serializes the Adjacency model.
+func (m *Adjacency) WriteTo(w io.Writer) (int64, error) {
+	return writePairwise(w, magicAdj, m.vocab, m.follow)
+}
+
+// ReadAdjacency decodes a model written by (*Adjacency).WriteTo.
+func ReadAdjacency(r io.Reader) (*Adjacency, error) {
+	vocab, follow, err := readPairwise(r, magicAdj)
+	if err != nil {
+		return nil, err
+	}
+	freeze(follow)
+	return &Adjacency{follow: follow, vocab: vocab}, nil
+}
+
+// WriteTo serializes the Co-occurrence model.
+func (m *Cooccurrence) WriteTo(w io.Writer) (int64, error) {
+	return writePairwise(w, magicCo, m.vocab, m.with)
+}
+
+// ReadCooccurrence decodes a model written by (*Cooccurrence).WriteTo.
+func ReadCooccurrence(r io.Reader) (*Cooccurrence, error) {
+	vocab, with, err := readPairwise(r, magicCo)
+	if err != nil {
+		return nil, err
+	}
+	freeze(with)
+	return &Cooccurrence{with: with, vocab: vocab}, nil
+}

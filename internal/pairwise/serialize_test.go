@@ -1,0 +1,65 @@
+package pairwise
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestAdjacencySerializeRoundTrip(t *testing.T) {
+	m := NewAdjacency(trainingSessions(), 8)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != m.NumStates() {
+		t.Fatalf("states = %d, want %d", got.NumStates(), m.NumStates())
+	}
+	for q := query.ID(0); q < 8; q++ {
+		a, b := m.Predict(query.Seq{q}, 5), got.Predict(query.Seq{q}, 5)
+		if len(a) != len(b) {
+			t.Fatalf("prediction count differs for %d", q)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("prediction differs for %d: %v vs %v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestCooccurrenceSerializeRoundTrip(t *testing.T) {
+	m := NewCooccurrence(trainingSessions(), 8)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCooccurrence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates() != m.NumStates() {
+		t.Fatalf("states = %d, want %d", got.NumStates(), m.NumStates())
+	}
+	top := got.Predict(query.Seq{3}, 5)
+	want := m.Predict(query.Seq{3}, 5)
+	if len(top) != len(want) || top[0] != want[0] {
+		t.Fatalf("predictions differ: %v vs %v", top, want)
+	}
+}
+
+func TestCrossFormatRejected(t *testing.T) {
+	m := NewAdjacency(trainingSessions(), 8)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCooccurrence(&buf); err == nil {
+		t.Fatal("adjacency stream accepted as co-occurrence")
+	}
+}

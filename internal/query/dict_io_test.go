@@ -1,0 +1,33 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDictSerializeRoundTrip(t *testing.T) {
+	d := NewDict()
+	ids := []ID{d.Intern("alpha"), d.Intern("beta query"), d.Intern("gamma")}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), d.Len())
+	}
+	for i, id := range ids {
+		if got.String(id) != d.String(id) {
+			t.Fatalf("ID %d maps to %q, want %q", i, got.String(id), d.String(id))
+		}
+	}
+}
+
+func TestReadDictRejectsGarbage(t *testing.T) {
+	if _, err := ReadDict(bytes.NewReader([]byte("not a dict at all"))); err == nil {
+		t.Fatal("garbage accepted as dictionary")
+	}
+}

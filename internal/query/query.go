@@ -1,0 +1,251 @@
+// Package query defines the fundamental vocabulary types used throughout the
+// reproduction: interned query identifiers, query sequences, and search
+// sessions. All prediction models operate on compact integer IDs rather than
+// raw strings; the Dict type provides the bidirectional mapping.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ID is a compact interned identifier for a unique query string.
+// IDs are dense: the first interned query receives ID 0, the next 1, and so
+// on, which lets downstream models use IDs as slice indices.
+type ID uint32
+
+// Invalid is returned by lookups that fail to resolve a query string.
+const Invalid ID = ^ID(0)
+
+// Dict is a bidirectional, concurrency-safe mapping between query strings and
+// dense IDs. The zero value is not usable; construct with NewDict.
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]ID
+	strs []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]ID)}
+}
+
+// Intern returns the ID for q, assigning a fresh one if q has never been
+// seen. Query strings are normalised (lower-cased, whitespace-collapsed)
+// before interning so that "Kidney  Stones " and "kidney stones" share an ID,
+// mirroring standard query-log canonicalisation.
+func (d *Dict) Intern(q string) ID {
+	q = Normalize(q)
+	d.mu.RLock()
+	id, ok := d.ids[q]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[q]; ok {
+		return id
+	}
+	id = ID(len(d.strs))
+	d.ids[q] = id
+	d.strs = append(d.strs, q)
+	return id
+}
+
+// Lookup resolves a query string to its ID without interning.
+// The second return value reports whether the query was known.
+func (d *Dict) Lookup(q string) (ID, bool) {
+	q = Normalize(q)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[q]
+	return id, ok
+}
+
+// String returns the query string for id, or "" if id is out of range.
+func (d *Dict) String(id ID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.strs) {
+		return ""
+	}
+	return d.strs[id]
+}
+
+// Len reports the number of unique queries interned so far (|Q|).
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}
+
+// Strings returns a copy of all interned query strings in ID order.
+func (d *Dict) Strings() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	return out
+}
+
+// Normalize canonicalises a raw query string: lower-case, trim, and collapse
+// internal whitespace runs to single spaces.
+func Normalize(q string) string {
+	q = strings.ToLower(strings.TrimSpace(q))
+	if !strings.ContainsAny(q, "\t\n\r") && !strings.Contains(q, "  ") {
+		return q
+	}
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// Seq is a sequence of queries — the paper's s = [q1, ..., ql].
+// A nil or empty Seq is the empty sequence e.
+type Seq []ID
+
+// Empty reports whether s is the empty sequence e.
+func (s Seq) Empty() bool { return len(s) == 0 }
+
+// Len returns |s|, the number of queries in the sequence.
+func (s Seq) Len() int { return len(s) }
+
+// Last returns the final query of the sequence.
+// It panics when called on the empty sequence.
+func (s Seq) Last() ID {
+	if len(s) == 0 {
+		panic("query: Last on empty sequence")
+	}
+	return s[len(s)-1]
+}
+
+// Suffix returns the suffix of s obtained by dropping the first query,
+// i.e. [q2, ..., ql]. The suffix of a 1-element or empty sequence is e.
+func (s Seq) Suffix() Seq {
+	if len(s) <= 1 {
+		return nil
+	}
+	return s[1:]
+}
+
+// Tail returns the longest suffix of s with length at most n.
+func (s Seq) Tail(n int) Seq {
+	if n <= 0 {
+		return nil
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// HasSuffix reports whether suf is a suffix of s.
+func (s Seq) HasSuffix(suf Seq) bool {
+	if len(suf) > len(s) {
+		return false
+	}
+	off := len(s) - len(suf)
+	for i, q := range suf {
+		if s[off+i] != q {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality of two sequences.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a fresh copy of s that does not alias the receiver.
+func (s Seq) Clone() Seq {
+	if s == nil {
+		return nil
+	}
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// Append returns a new sequence equal to s with q appended. The receiver is
+// never mutated, making Append safe for deriving contexts from shared slices.
+func (s Seq) Append(q ID) Seq {
+	out := make(Seq, len(s)+1)
+	copy(out, s)
+	out[len(s)] = q
+	return out
+}
+
+// Key encodes the sequence into a compact string usable as a map key.
+// The encoding is 4 bytes per ID, big-endian, so distinct sequences always
+// map to distinct keys and keys sort in sequence order.
+func (s Seq) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	b := make([]byte, 4*len(s))
+	for i, q := range s {
+		b[4*i] = byte(q >> 24)
+		b[4*i+1] = byte(q >> 16)
+		b[4*i+2] = byte(q >> 8)
+		b[4*i+3] = byte(q)
+	}
+	return string(b)
+}
+
+// SeqFromKey decodes a key produced by Seq.Key back into a sequence.
+// It returns nil for the empty key.
+func SeqFromKey(k string) Seq {
+	if len(k) == 0 {
+		return nil
+	}
+	if len(k)%4 != 0 {
+		panic(fmt.Sprintf("query: malformed sequence key of length %d", len(k)))
+	}
+	s := make(Seq, len(k)/4)
+	for i := range s {
+		s[i] = ID(k[4*i])<<24 | ID(k[4*i+1])<<16 | ID(k[4*i+2])<<8 | ID(k[4*i+3])
+	}
+	return s
+}
+
+// Format renders the sequence as human-readable text using dict, joining
+// queries with the paper's " => " arrow.
+func (s Seq) Format(dict *Dict) string {
+	if len(s) == 0 {
+		return "<empty>"
+	}
+	parts := make([]string, len(s))
+	for i, q := range s {
+		parts[i] = dict.String(q)
+	}
+	return strings.Join(parts, " => ")
+}
+
+// Session is one segmented search session: an ordered query sequence plus the
+// number of times the identical sequence was observed (after aggregation).
+type Session struct {
+	Queries Seq
+	Count   uint64
+}
+
+// SortSessions orders sessions by descending count, breaking ties by the
+// lexicographic order of their encoded keys so output is deterministic.
+func SortSessions(ss []Session) {
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].Count != ss[j].Count {
+			return ss[i].Count > ss[j].Count
+		}
+		return ss[i].Queries.Key() < ss[j].Queries.Key()
+	})
+}

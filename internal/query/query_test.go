@@ -1,0 +1,257 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDictInternAssignsDenseIDs(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("java")
+	b := d.Intern("java island")
+	c := d.Intern("sun java")
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("expected dense IDs 0,1,2; got %d,%d,%d", a, b, c)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestDictInternIsIdempotent(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("nokia n73")
+	b := d.Intern("nokia n73")
+	if a != b {
+		t.Fatalf("re-interning changed ID: %d vs %d", a, b)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDictNormalizesBeforeInterning(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("  Kidney  Stones ")
+	b := d.Intern("kidney stones")
+	if a != b {
+		t.Fatalf("normalised variants got distinct IDs %d and %d", a, b)
+	}
+	if got := d.String(a); got != "kidney stones" {
+		t.Fatalf("String(%d) = %q, want %q", a, got, "kidney stones")
+	}
+}
+
+func TestDictLookupDoesNotIntern(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("unseen"); ok {
+		t.Fatal("Lookup reported an unseen query as known")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Lookup interned the query; Len = %d", d.Len())
+	}
+	id := d.Intern("seen")
+	got, ok := d.Lookup("seen")
+	if !ok || got != id {
+		t.Fatalf("Lookup(seen) = %d,%v; want %d,true", got, ok, id)
+	}
+}
+
+func TestDictStringOutOfRange(t *testing.T) {
+	d := NewDict()
+	if s := d.String(99); s != "" {
+		t.Fatalf("String(99) on empty dict = %q, want empty", s)
+	}
+	if s := d.String(Invalid); s != "" {
+		t.Fatalf("String(Invalid) = %q, want empty", s)
+	}
+}
+
+func TestDictStringsReturnsIDOrder(t *testing.T) {
+	d := NewDict()
+	in := []string{"smtp", "pop3", "imap"}
+	for _, q := range in {
+		d.Intern(q)
+	}
+	got := d.Strings()
+	if len(got) != len(in) {
+		t.Fatalf("Strings returned %d entries, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("Strings[%d] = %q, want %q", i, got[i], in[i])
+		}
+	}
+}
+
+func TestDictConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	done := make(chan ID, 64)
+	for i := 0; i < 64; i++ {
+		go func() { done <- d.Intern("concurrent query") }()
+	}
+	first := <-done
+	for i := 1; i < 64; i++ {
+		if id := <-done; id != first {
+			t.Fatalf("concurrent interning produced distinct IDs %d and %d", first, id)
+		}
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after concurrent interning of one query", d.Len())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Google", "google"},
+		{"  o2   mobile  phones ", "o2 mobile phones"},
+		{"a\tb", "a b"},
+		{"already clean", "already clean"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeqSuffixAndTail(t *testing.T) {
+	s := Seq{1, 2, 3, 4}
+	if got := s.Suffix(); !got.Equal(Seq{2, 3, 4}) {
+		t.Fatalf("Suffix = %v", got)
+	}
+	if got := (Seq{7}).Suffix(); got != nil {
+		t.Fatalf("Suffix of 1-element seq = %v, want nil", got)
+	}
+	if got := s.Tail(2); !got.Equal(Seq{3, 4}) {
+		t.Fatalf("Tail(2) = %v", got)
+	}
+	if got := s.Tail(0); got != nil {
+		t.Fatalf("Tail(0) = %v, want nil", got)
+	}
+	if got := s.Tail(10); !got.Equal(s) {
+		t.Fatalf("Tail(10) = %v, want whole sequence", got)
+	}
+}
+
+func TestSeqHasSuffix(t *testing.T) {
+	s := Seq{5, 6, 7}
+	for _, suf := range []Seq{nil, {7}, {6, 7}, {5, 6, 7}} {
+		if !s.HasSuffix(suf) {
+			t.Errorf("HasSuffix(%v) = false, want true", suf)
+		}
+	}
+	for _, suf := range []Seq{Seq{5}, Seq{5, 6}, Seq{7, 7}, Seq{1, 5, 6, 7}} {
+		if s.HasSuffix(suf) {
+			t.Errorf("HasSuffix(%v) = true, want false", suf)
+		}
+	}
+}
+
+func TestSeqAppendDoesNotMutate(t *testing.T) {
+	s := Seq{1, 2}
+	u := s.Append(3)
+	v := s.Append(4)
+	if !u.Equal(Seq{1, 2, 3}) || !v.Equal(Seq{1, 2, 4}) {
+		t.Fatalf("Append aliasing: u=%v v=%v", u, v)
+	}
+	if !s.Equal(Seq{1, 2}) {
+		t.Fatalf("receiver mutated: %v", s)
+	}
+}
+
+func TestSeqLastPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Last on empty sequence did not panic")
+		}
+	}()
+	Seq{}.Last()
+}
+
+func TestSeqKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := make(Seq, len(raw))
+		for i, v := range raw {
+			s[i] = ID(v)
+		}
+		dec := SeqFromKey(s.Key())
+		if len(s) == 0 {
+			return dec == nil
+		}
+		return dec.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqKeyInjective(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		sa := make(Seq, len(a))
+		for i, v := range a {
+			sa[i] = ID(v)
+		}
+		sb := make(Seq, len(b))
+		for i, v := range b {
+			sb[i] = ID(v)
+		}
+		if sa.Key() == sb.Key() {
+			return sa.Equal(sb)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqFromKeyPanicsOnMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SeqFromKey on misaligned key did not panic")
+		}
+	}()
+	SeqFromKey("abc")
+}
+
+func TestSeqFormat(t *testing.T) {
+	d := NewDict()
+	s := Seq{d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")}
+	want := "o2 => o2 mobile => o2 mobile phones"
+	if got := s.Format(d); got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+	if got := Seq(nil).Format(d); got != "<empty>" {
+		t.Fatalf("Format(empty) = %q", got)
+	}
+}
+
+func TestSortSessions(t *testing.T) {
+	ss := []Session{
+		{Queries: Seq{3}, Count: 5},
+		{Queries: Seq{1}, Count: 9},
+		{Queries: Seq{2}, Count: 5},
+	}
+	SortSessions(ss)
+	if ss[0].Count != 9 {
+		t.Fatalf("first session count = %d, want 9", ss[0].Count)
+	}
+	// Equal counts tie-break on encoded key: ID 2 sorts before ID 3.
+	if !ss[1].Queries.Equal(Seq{2}) || !ss[2].Queries.Equal(Seq{3}) {
+		t.Fatalf("tie-break order wrong: %v then %v", ss[1].Queries, ss[2].Queries)
+	}
+}
+
+func TestSeqCloneIndependence(t *testing.T) {
+	s := Seq{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatal("Clone aliases the receiver")
+	}
+	if Seq(nil).Clone() != nil {
+		t.Fatal("Clone of nil should be nil")
+	}
+}

@@ -1,0 +1,111 @@
+// Package serve exposes a trained recommender over HTTP — the "real-time
+// search engine query recommendation" deployment the paper concludes the
+// MVMM is suitable for (Sec. VI: constant-time online prediction).
+//
+// Endpoints:
+//
+//	GET /suggest?q=<query>&q=<query>...&n=5   ranked suggestions for a context
+//	GET /healthz                              liveness + model stats
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Suggestion is one recommendation in the JSON response.
+type Suggestion struct {
+	Query string  `json:"query"`
+	Score float64 `json:"score"`
+}
+
+// SuggestResponse is the /suggest payload.
+type SuggestResponse struct {
+	Context     []string     `json:"context"`
+	Suggestions []Suggestion `json:"suggestions"`
+	TookMicros  int64        `json:"took_us"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status        string `json:"status"`
+	KnownQueries  int    `json:"known_queries"`
+	TrainSessions uint64 `json:"train_sessions"`
+}
+
+// Handler routes recommendation traffic to a trained core.Recommender.
+// The recommender is read-only after training, so one Handler serves
+// concurrent requests without locking.
+type Handler struct {
+	rec  *core.Recommender
+	topN int
+	mux  *http.ServeMux
+}
+
+// NewHandler wraps a trained recommender. defaultN is the suggestion count
+// when the request omits n (the paper's N = 5).
+func NewHandler(rec *core.Recommender, defaultN int) *Handler {
+	if defaultN <= 0 {
+		defaultN = 5
+	}
+	h := &Handler{rec: rec, topN: defaultN, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/suggest", h.suggest)
+	h.mux.HandleFunc("/healthz", h.health)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	context := q["q"]
+	if len(context) == 0 {
+		http.Error(w, "missing q parameters (one per context query, oldest first)", http.StatusBadRequest)
+		return
+	}
+	n := h.topN
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 100 {
+			http.Error(w, "n must be an integer in [1,100]", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	start := time.Now()
+	recs := h.rec.Recommend(context, n)
+	resp := SuggestResponse{
+		Context:     context,
+		Suggestions: make([]Suggestion, len(recs)),
+		TookMicros:  time.Since(start).Microseconds(),
+	}
+	for i, s := range recs {
+		resp.Suggestions[i] = Suggestion{Query: s.Query, Score: s.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		KnownQueries:  h.rec.Dict().Len(),
+		TrainSessions: h.rec.Stats().Sessions,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func testRecommender(t *testing.T) *core.Recommender {
+	t.Helper()
+	d := query.NewDict()
+	a, b, c := d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")
+	var sessions []query.Seq
+	for i := 0; i < 10; i++ {
+		sessions = append(sessions, query.Seq{a, b, c})
+	}
+	cfg := core.DefaultConfig()
+	cfg.Epsilons = []float64{0.0, 0.05}
+	cfg.Mixture.TrainSample = 50
+	cfg.Mixture.NewtonIters = 3
+	return core.TrainFromSessions(d, sessions, cfg)
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/suggest?q=o2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SuggestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if out.Suggestions[0].Query != "o2 mobile" {
+		t.Fatalf("top suggestion = %q", out.Suggestions[0].Query)
+	}
+	if out.TookMicros < 0 {
+		t.Fatalf("TookMicros = %d", out.TookMicros)
+	}
+}
+
+func TestSuggestMultiQueryContext(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/suggest?q=o2&q=o2+mobile&n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SuggestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Suggestions) != 1 || out.Suggestions[0].Query != "o2 mobile phones" {
+		t.Fatalf("suggestions = %+v", out.Suggestions)
+	}
+	if len(out.Context) != 2 {
+		t.Fatalf("context echoed %d queries", len(out.Context))
+	}
+}
+
+func TestSuggestValidation(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+	for _, path := range []string{"/suggest", "/suggest?q=o2&n=0", "/suggest?q=o2&n=abc", "/suggest?q=o2&n=1000"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/suggest?q=o2", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSuggestUnknownContext(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/suggest?q=never+seen+before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SuggestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Suggestions) != 0 {
+		t.Fatalf("unknown context got suggestions: %+v", out.Suggestions)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.KnownQueries != 3 || h.TrainSessions != 10 {
+		t.Fatalf("health = %+v", h)
+	}
+}

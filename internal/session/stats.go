@@ -1,0 +1,106 @@
+package session
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Stats summarises a session collection in the shape of the paper's
+// Table IV and the histograms of Figs. 5–7.
+type Stats struct {
+	Sessions      uint64 // total session occurrences (Table IV "# Sessions")
+	Searches      uint64 // total query submissions (Table IV "# Searches")
+	UniqueQueries int    // |Q| over the collection
+	LengthHist    map[int]uint64
+}
+
+// Collect computes statistics over aggregated sessions.
+func Collect(agg []query.Session) Stats {
+	st := Stats{LengthHist: make(map[int]uint64)}
+	uniq := make(map[query.ID]struct{})
+	for _, s := range agg {
+		st.Sessions += s.Count
+		st.Searches += s.Count * uint64(len(s.Queries))
+		st.LengthHist[len(s.Queries)] += s.Count
+		for _, q := range s.Queries {
+			uniq[q] = struct{}{}
+		}
+	}
+	st.UniqueQueries = len(uniq)
+	return st
+}
+
+// MeanLength returns the average session length — the paper cites empirical
+// estimates of 2–3 queries per session.
+func (s Stats) MeanLength() float64 {
+	if s.Sessions == 0 {
+		return 0
+	}
+	return float64(s.Searches) / float64(s.Sessions)
+}
+
+// LengthBuckets returns (length, count) pairs sorted by length, for
+// rendering the Fig. 5 / Fig. 7 histograms.
+func (s Stats) LengthBuckets() (lengths []int, counts []uint64) {
+	for l := range s.LengthHist {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	counts = make([]uint64, len(lengths))
+	for i, l := range lengths {
+		counts[i] = s.LengthHist[l]
+	}
+	return lengths, counts
+}
+
+// RankFrequency returns aggregated session frequencies in descending order —
+// the data behind Fig. 6's rank/frequency power-law plot.
+func RankFrequency(agg []query.Session) []uint64 {
+	out := make([]uint64, len(agg))
+	for i, s := range agg {
+		out[i] = s.Count
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// PowerLawFit fits log10(freq) = a + b*log10(rank) by least squares over the
+// rank/frequency curve and returns the slope b and the coefficient of
+// determination R². A strongly negative slope with high R² is the Fig. 6
+// power-law signature.
+func PowerLawFit(freqs []uint64) (slope, r2 float64) {
+	var xs, ys []float64
+	for i, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(float64(i+1)))
+		ys = append(ys, math.Log10(float64(f)))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	// R² from the correlation coefficient.
+	den2 := math.Sqrt(den) * math.Sqrt(n*syy-sy*sy)
+	if den2 == 0 {
+		return slope, 1
+	}
+	r := (n*sxy - sx*sy) / den2
+	return slope, r * r
+}
