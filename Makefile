@@ -1,0 +1,47 @@
+# Development and CI entry points. CI (.github/workflows/ci.yml) runs these
+# exact targets so local runs and the gate can never diverge.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci serve loadgen clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark, no test re-runs.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: vet fmt-check build race bench
+
+# Convenience: train a small model if absent, then serve it.
+model.bin:
+	$(GO) run ./cmd/loggen -sessions 20000 -out /tmp/repro-train.log
+	$(GO) run ./cmd/train -log /tmp/repro-train.log -model model.bin -threshold 2
+
+serve: model.bin
+	$(GO) run ./cmd/serve -model model.bin
+
+loadgen:
+	$(GO) run ./cmd/loadgen -addr http://localhost:8080
+
+clean:
+	rm -f model.bin

@@ -7,9 +7,15 @@
 package repro_test
 
 import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/hmm"
@@ -17,6 +23,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/pairwise"
 	"repro/internal/query"
+	"repro/internal/serve"
 	"repro/internal/store"
 )
 
@@ -318,6 +325,96 @@ func BenchmarkSeqKey(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = s.Key()
 	}
+}
+
+// --- serving-layer benchmarks ------------------------------------------------
+
+var (
+	serveBenchOnce sync.Once
+	serveBenchRec  *core.Recommender
+	serveBenchCtxs [][]string
+)
+
+// serveBenchSetup trains an end-to-end recommender on the shared corpus and
+// renders a pool of realistic string contexts for the serving benchmarks.
+func serveBenchSetup(b *testing.B) (*core.Recommender, [][]string) {
+	b.Helper()
+	c, _ := benchSetup(b)
+	serveBenchOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Epsilons = []float64{0.0, 0.05}
+		cfg.Mixture.TrainSample = 500
+		cfg.Mixture.NewtonIters = 10
+		serveBenchRec = core.TrainFromAggregated(c.Dict, c.TrainAgg, cfg)
+		for _, ctx := range c.TestContexts(2, 256) {
+			qs := make([]string, len(ctx))
+			for i, id := range ctx {
+				qs[i] = c.Dict.String(id)
+			}
+			serveBenchCtxs = append(serveBenchCtxs, qs)
+		}
+	})
+	if len(serveBenchCtxs) == 0 {
+		b.Skip("no serving contexts")
+	}
+	return serveBenchRec, serveBenchCtxs
+}
+
+// BenchmarkSuggestUncached is the raw model hot path under parallel load:
+// every request interns its context and runs the full MVMM prediction.
+func BenchmarkSuggestUncached(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 31
+		for pb.Next() {
+			rec.Recommend(ctxs[i%len(ctxs)], 5)
+			i++
+		}
+	})
+}
+
+// BenchmarkSuggestCached is the same workload through the sharded LRU front
+// on repeated contexts — the serving layer's steady state, where the cache
+// must beat the uncached path by well over 2x across cores.
+func BenchmarkSuggestCached(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	sc := cache.NewSuggestCache(0)
+	for _, ctx := range ctxs { // warm the cache once
+		sc.Recommend(1, rec, ctx, 5)
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 31
+		for pb.Next() {
+			sc.Recommend(1, rec, ctxs[i%len(ctxs)], 5)
+			i++
+		}
+	})
+	b.ReportMetric(sc.Stats().HitRate(), "hit-rate")
+}
+
+// BenchmarkServeHTTPCached measures the full handler stack (mux, middleware,
+// cache, JSON encoding) on a hot context without network overhead.
+func BenchmarkServeHTTPCached(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	h := serve.NewHandler(rec, 5)
+	target := "/suggest?q=" + url.QueryEscape(ctxs[0][0])
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine needs its own request: ServeMux writes routing
+		// state onto *http.Request during dispatch.
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		for pb.Next() {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				b.Fatalf("status %d", rr.Code)
+			}
+		}
+	})
 }
 
 // --- future-work extension benchmarks ---------------------------------------

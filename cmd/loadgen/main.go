@@ -1,0 +1,202 @@
+// Command loadgen replays synthetic query contexts against a running
+// cmd/serve instance and reports throughput and latency quantiles — the
+// load side of the paper's "real-time query recommendation" deployment
+// claim. Contexts are drawn from the same generator as the training
+// pipeline (internal/loggen), so their popularity follows the power law of
+// real logs (Fig. 6) and the server's cache sees realistic head/tail skew.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -requests 20000 -c 16
+//	loadgen -addr http://localhost:8080 -batch 32        # POST /suggest/batch
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/loggen"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "server base URL")
+		requests = flag.Int("requests", 10000, "total requests to send")
+		conc     = flag.Int("c", 16, "concurrent workers")
+		topN     = flag.Int("n", 5, "suggestions per context")
+		batch    = flag.Int("batch", 0, "contexts per POST /suggest/batch request (0 = single GETs)")
+		sessions = flag.Int("sessions", 4000, "synthetic sessions to derive contexts from")
+		seed     = flag.Int64("seed", 1, "context-replay RNG seed")
+	)
+	flag.Parse()
+
+	contexts := buildContexts(*sessions, *seed)
+	log.Printf("replaying %d contexts (%d requests, %d workers, batch=%d) against %s",
+		len(contexts), *requests, *conc, *batch, *addr)
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc * 2,
+			MaxIdleConnsPerHost: *conc * 2,
+		},
+	}
+
+	var (
+		issued   atomic.Int64
+		errCount atomic.Int64
+		wg       sync.WaitGroup
+		latMu    sync.Mutex
+		lats     []time.Duration
+	)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			local := make([]time.Duration, 0, *requests / *conc + 1)
+			for issued.Add(1) <= int64(*requests) {
+				var err error
+				var took time.Duration
+				if *batch > 0 {
+					took, err = doBatch(client, *addr, contexts, rng, *batch, *topN)
+				} else {
+					took, err = doSingle(client, *addr, contexts[rng.Intn(len(contexts))], *topN)
+				}
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				local = append(local, took)
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ok := len(lats)
+	ctxServed := ok
+	if *batch > 0 {
+		ctxServed = ok * *batch
+	}
+	fmt.Printf("requests:    %d ok, %d errors in %s\n", ok, errCount.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:  %.0f req/s (%.0f contexts/s)\n",
+		float64(ok)/elapsed.Seconds(), float64(ctxServed)/elapsed.Seconds())
+	if ok > 0 {
+		fmt.Printf("latency:     p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), lats[ok-1])
+	}
+	printServerMetrics(client, *addr)
+}
+
+// buildContexts derives every proper prefix of the generated sessions as a
+// replayable context. Identical sessions recur across the stream, so hot
+// contexts repeat with realistic skew.
+func buildContexts(n int, seed int64) [][]string {
+	cfg := loggen.DefaultConfig()
+	cfg.Seed = seed
+	gen, err := loggen.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var contexts [][]string
+	for _, ls := range gen.GenerateSessions(n) {
+		for l := 1; l < len(ls.Queries); l++ {
+			contexts = append(contexts, ls.Queries[:l])
+		}
+	}
+	if len(contexts) == 0 {
+		log.Fatal("no contexts generated")
+	}
+	return contexts
+}
+
+func doSingle(client *http.Client, addr string, context []string, n int) (time.Duration, error) {
+	v := url.Values{}
+	for _, q := range context {
+		v.Add("q", q)
+	}
+	v.Set("n", strconv.Itoa(n))
+	start := time.Now()
+	resp, err := client.Get(addr + "/suggest?" + v.Encode())
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return time.Since(start), nil
+}
+
+func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Rand, size, n int) (time.Duration, error) {
+	req := serve.BatchRequest{Requests: make([]serve.BatchItem, size)}
+	for i := range req.Requests {
+		req.Requests[i] = serve.BatchItem{Context: contexts[rng.Intn(len(contexts))], N: n}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/suggest/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return time.Since(start), nil
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))].Round(time.Microsecond)
+}
+
+func printServerMetrics(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		log.Printf("fetching /metrics: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var m serve.MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		log.Printf("decoding /metrics: %v", err)
+		return
+	}
+	fmt.Printf("server:      cache hit rate %.1f%% (%d hits / %d misses, %d evictions), "+
+		"server-side p50 %dus p99 %dus, generation %d\n",
+		100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions,
+		m.P50Micros, m.P99Micros, m.ModelGeneration)
+}

@@ -1,22 +1,48 @@
 // Command serve exposes a trained recommendation model over HTTP — the
-// paper's real-time deployment scenario.
+// paper's real-time deployment scenario, hardened for production traffic:
+// a sharded LRU result cache, request metrics, hot model reload and
+// graceful shutdown.
 //
 // Usage:
 //
-//	serve -model model.bin [-addr :8080] [-n 5]
+//	serve -model model.bin [-addr :8080] [-n 5] [-cache 16384] [-quiet]
 //
-// Then: curl 'localhost:8080/suggest?q=nokia+n73&q=nokia+n73+themes'
+// Then:
+//
+//	curl 'localhost:8080/suggest?q=nokia+n73&q=nokia+n73+themes'
+//	curl -X POST localhost:8080/suggest/batch -d '{"requests":[{"context":["nokia n73"]}]}'
+//	curl localhost:8080/metrics
+//
+// Hot reload: retrain with cmd/train, overwrite the model file, then either
+// `kill -HUP <pid>` or `curl -X POST localhost:8080/reload`. The new model
+// is swapped in behind an atomic pointer; in-flight requests finish on the
+// old one and no traffic is dropped. SIGINT/SIGTERM drain connections
+// before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/serve"
 )
+
+func loadModel(path string) (*core.Recommender, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -25,20 +51,63 @@ func main() {
 		modelPath = flag.String("model", "model.bin", "model file from cmd/train")
 		addr      = flag.String("addr", ":8080", "listen address")
 		topN      = flag.Int("n", 5, "default suggestion count")
+		cacheCap  = flag.Int("cache", 0, "result cache capacity (0 = default)")
+		quiet     = flag.Bool("quiet", false, "disable per-request logging")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*modelPath)
+	rec, err := loadModel(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := core.Load(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	opts := serve.Options{
+		DefaultN:      *topN,
+		CacheCapacity: *cacheCap,
+		ReloadFunc:    func() (*core.Recommender, error) { return loadModel(*modelPath) },
+	}
+	if !*quiet {
+		opts.Logger = log.Default()
+	}
+	handler := serve.New(rec, opts)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("model loaded: %d known queries; listening on %s", rec.Dict().Len(), *addr)
-	if err := http.ListenAndServe(*addr, serve.NewHandler(rec, *topN)); err != nil {
-		log.Fatal(err)
+
+	// SIGHUP hot-reloads the model file; SIGINT/SIGTERM drain and exit.
+	reload := make(chan os.Signal, 1)
+	signal.Notify(reload, syscall.SIGHUP)
+	go func() {
+		for range reload {
+			gen, err := handler.Reload()
+			if err != nil {
+				log.Printf("SIGHUP reload failed (still serving old model): %v", err)
+				continue
+			}
+			log.Printf("SIGHUP reload ok: now at model generation %d", gen)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-stop:
+		log.Printf("%s: draining connections (up to %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
 	}
+	log.Print("bye")
 }

@@ -12,6 +12,14 @@
 // harness regenerating every table and figure of the paper's evaluation
 // section.
 //
+// The serving layer turns the paper's "suitable for real-time query
+// recommendation" conclusion into a production-shaped subsystem:
+// internal/serve exposes single and batch suggestion endpoints with
+// metrics, panic recovery and hot model reload; internal/cache fronts the
+// model with a sharded LRU keyed on interned context IDs; cmd/serve runs
+// the server with SIGHUP/POST-reload and graceful shutdown; cmd/loadgen
+// replays power-law synthetic traffic against it.
+//
 // Entry points: internal/core for the end-to-end recommender API,
 // cmd/experiments for the full evaluation harness, and bench_test.go for the
 // per-table/figure benchmarks. See README.md, DESIGN.md and EXPERIMENTS.md.

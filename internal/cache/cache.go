@@ -1,0 +1,179 @@
+// Package cache provides the serving layer's result cache: a sharded,
+// mutex-striped LRU keyed on compact binary strings, sized for the
+// read-heavy, highly skewed traffic of online query recommendation (the
+// aggregated-session frequencies follow a power law — Fig. 6 — so a small
+// cache absorbs most of the head).
+//
+// The generic Cache[V] is the mechanism; SuggestCache is the policy that
+// fronts core.Recommender.Recommend with interned-context keys.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount stripes the LRU across independently locked shards so
+// concurrent readers on different contexts never contend. Must be a power
+// of two.
+const shardCount = 32
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded LRU from string keys to values of type V. All methods
+// are safe for concurrent use. Values are returned as stored: callers that
+// cache slices or pointers must treat them as immutable.
+type Cache[V any] struct {
+	shards    [shardCount]shard[V]
+	capacity  int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard[V any] struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a Cache holding at most capacity entries overall (rounded up
+// to a multiple of the shard count, minimum one entry per shard).
+func New[V any](capacity int) *Cache[V] {
+	perShard := (capacity + shardCount - 1) / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{capacity: perShard * shardCount}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			items: make(map[string]*list.Element),
+			order: list.New(),
+			cap:   perShard,
+		}
+	}
+	return c
+}
+
+// fnv1a hashes the key to pick a shard. Inlined (rather than hash/fnv) to
+// keep the hot path allocation-free.
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+// Get returns the cached value for key, promoting it to most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	v := el.Value.(*entry[V]).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores key -> v, evicting the shard's least recently used entry when
+// the shard is full. Storing an existing key updates its value and promotes
+// it.
+func (c *Cache[V]) Put(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry[V]).val = v
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if s.order.Len() >= s.cap {
+		back := s.order.Back()
+		if back != nil {
+			delete(s.items, back.Value.(*entry[V]).key)
+			s.order.Remove(back)
+			evicted = true
+		}
+	}
+	s.items[key] = s.order.PushFront(&entry[V]{key: key, val: v})
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every entry. Counters are preserved: a purge (e.g. on model
+// reload) is an operational event, not a statistics reset.
+func (c *Cache[V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the effectiveness counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.capacity,
+	}
+}

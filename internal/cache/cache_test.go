@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New[int](64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 10) // update
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("updated Get(a) = %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// A capacity of 1 entry per shard lets us exercise eviction
+	// deterministically by hammering keys that land in the same shard.
+	c := New[int](shardCount) // 1 per shard
+	s := c.shard("x")
+	// Find three keys that map to the same shard as "x".
+	keys := []string{"x"}
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == s {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1) // evicts keys[0]
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v != 1 {
+		t.Fatal("fresh entry missing")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestLRUPromotionOnGet(t *testing.T) {
+	c := New[int](shardCount * 2) // 2 per shard
+	s := c.shard("x")
+	keys := []string{"x"}
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("p%d", i)
+		if c.shard(k) == s {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Get(keys[0])    // promote oldest
+	c.Put(keys[2], 2) // should evict keys[1], not keys[0]
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("unpromoted entry survived")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string](128)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "v")
+	}
+	if c.Len() != 50 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("entry survived purge")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Put(k, i)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("impossible value")
+				}
+				if i%50 == 0 && g == 0 {
+					c.Purge()
+				}
+				_ = c.Len()
+				_ = c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func testRecommender(t testing.TB) *core.Recommender {
+	t.Helper()
+	d := query.NewDict()
+	a, b, c := d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")
+	var sessions []query.Seq
+	for i := 0; i < 10; i++ {
+		sessions = append(sessions, query.Seq{a, b, c})
+	}
+	cfg := core.DefaultConfig()
+	cfg.Epsilons = []float64{0.0, 0.05}
+	cfg.Mixture.TrainSample = 50
+	cfg.Mixture.NewtonIters = 3
+	return core.TrainFromSessions(d, sessions, cfg)
+}
+
+// TestSuggestCacheEquivalence: cached answers must be identical to what the
+// recommender computes directly, on hit and on miss.
+func TestSuggestCacheEquivalence(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(128)
+	ctx := []string{"o2"}
+	want := rec.Recommend(ctx, 5)
+
+	miss := sc.Recommend(1, rec, ctx, 5)
+	hit := sc.Recommend(1, rec, ctx, 5)
+	for name, got := range map[string][]core.Suggestion{"miss": miss, "hit": hit} {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d suggestions, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: suggestion %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	st := sc.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestSuggestCacheKeying: distinct n, distinct contexts and distinct model
+// generations must never share an entry; normalised spellings must.
+func TestSuggestCacheKeying(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(128)
+
+	sc.Recommend(1, rec, []string{"o2"}, 5)
+	if got := sc.Recommend(1, rec, []string{"o2"}, 1); len(got) != 1 {
+		t.Fatalf("n=1 after n=5 returned %d suggestions", len(got))
+	}
+	if h := sc.Stats().Hits; h != 0 {
+		t.Fatalf("different n produced a hit (%d)", h)
+	}
+	// Normalised duplicate context: same interned IDs, so it must hit.
+	sc.Recommend(1, rec, []string{"  O2 "}, 5)
+	if h := sc.Stats().Hits; h != 1 {
+		t.Fatalf("normalised duplicate missed (hits=%d)", h)
+	}
+	// New generation: same context must miss again.
+	sc.Recommend(2, rec, []string{"o2"}, 5)
+	if h := sc.Stats().Hits; h != 1 {
+		t.Fatalf("new generation produced a stale hit (hits=%d)", h)
+	}
+}
+
+func TestSuggestCacheEmptyContext(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(16)
+	if got := sc.Recommend(1, rec, nil, 5); got != nil {
+		t.Fatalf("empty context = %v", got)
+	}
+	if got := sc.Recommend(1, rec, []string{"never seen"}, 5); got != nil {
+		t.Fatalf("unknown context = %v", got)
+	}
+}
+
+func TestSuggestCacheConcurrent(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(64)
+	want := rec.Recommend([]string{"o2"}, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				got := sc.Recommend(1, rec, []string{"o2"}, 5)
+				if len(got) != len(want) || got[0] != want[0] {
+					t.Error("concurrent cached recommendation diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := sc.Stats()
+	if st.Hits+st.Misses != 8*300 {
+		t.Fatalf("lookup count = %d, want %d", st.Hits+st.Misses, 8*300)
+	}
+}

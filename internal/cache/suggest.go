@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// SuggestCache fronts core.Recommender.Recommend with a sharded LRU keyed
+// on the interned context IDs (not the raw strings), the requested
+// suggestion count, and a caller-supplied model generation. Keying on IDs
+// means spelling-normalised duplicates ("O2  Mobile" vs "o2 mobile") share
+// one entry, and the generation keeps entries computed against a hot-swapped
+// old model from ever answering for the new one.
+//
+// Cached suggestion slices are shared between callers and must be treated
+// as immutable.
+type SuggestCache struct {
+	lru *Cache[[]core.Suggestion]
+	// bufs pools the per-request context/key scratch so the hot (hit) path
+	// does not allocate.
+	bufs sync.Pool
+}
+
+type suggestBuf struct {
+	ctx query.Seq
+	key []byte
+}
+
+// DefaultCapacity is the cache size used when callers pass a non-positive
+// capacity.
+const DefaultCapacity = 1 << 14
+
+// NewSuggestCache returns a SuggestCache holding about capacity result
+// entries (<= 0 selects DefaultCapacity).
+func NewSuggestCache(capacity int) *SuggestCache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &SuggestCache{
+		lru: New[[]core.Suggestion](capacity),
+		bufs: sync.Pool{New: func() any {
+			return &suggestBuf{ctx: make(query.Seq, 0, 16), key: make([]byte, 0, 64)}
+		}},
+	}
+}
+
+// Recommend answers context with up to n suggestions, consulting the cache
+// before delegating to rec.RecommendIDs. gen is the serving layer's model
+// generation: bump it on every hot reload so stale entries can never match.
+func (sc *SuggestCache) Recommend(gen uint64, rec *core.Recommender, context []string, n int) []core.Suggestion {
+	buf := sc.bufs.Get().(*suggestBuf)
+	defer func() {
+		buf.ctx = buf.ctx[:0]
+		buf.key = buf.key[:0]
+		sc.bufs.Put(buf)
+	}()
+	buf.ctx = rec.AppendContext(buf.ctx[:0], context)
+	if len(buf.ctx) == 0 {
+		return nil
+	}
+	buf.key = appendSuggestKey(buf.key[:0], gen, buf.ctx, n)
+	key := string(buf.key)
+	if v, ok := sc.lru.Get(key); ok {
+		return v
+	}
+	out := rec.RecommendIDs(buf.ctx, n)
+	sc.lru.Put(key, out)
+	return out
+}
+
+// appendSuggestKey encodes (gen, n, ctx) into dst: 8 bytes of generation,
+// 4 bytes of n, then 4 bytes per context ID (the Seq.Key layout).
+func appendSuggestKey(dst []byte, gen uint64, ctx query.Seq, n int) []byte {
+	dst = append(dst,
+		byte(gen>>56), byte(gen>>48), byte(gen>>40), byte(gen>>32),
+		byte(gen>>24), byte(gen>>16), byte(gen>>8), byte(gen),
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, q := range ctx {
+		dst = append(dst, byte(q>>24), byte(q>>16), byte(q>>8), byte(q))
+	}
+	return dst
+}
+
+// Purge drops all entries (used after model hot reload to release the old
+// generation's memory; correctness does not depend on it).
+func (sc *SuggestCache) Purge() { sc.lru.Purge() }
+
+// Stats snapshots hit/miss/eviction counters.
+func (sc *SuggestCache) Stats() Stats { return sc.lru.Stats() }

@@ -99,8 +99,19 @@ func TrainFromAggregated(dict *query.Dict, agg []query.Session, cfg Config) *Rec
 // queries are dropped (the MVMM's suffix matching and escape mechanism
 // handle the resulting shorter context); an empty or fully unknown context
 // yields no suggestions.
+//
+// A Recommender is immutable once trained or loaded: Recommend, RecommendIDs
+// and Probability are safe for any number of concurrent callers without
+// locking.
 func (r *Recommender) Recommend(context []string, n int) []Suggestion {
-	ctx := r.internContext(context)
+	return r.RecommendIDs(r.internContext(context), n)
+}
+
+// RecommendIDs is the allocation-lean core of Recommend: it accepts an
+// already-interned context (see InternContext / AppendContext) so serving
+// layers that cache on context IDs intern exactly once per request. The
+// context slice is not retained.
+func (r *Recommender) RecommendIDs(ctx query.Seq, n int) []Suggestion {
 	if len(ctx) == 0 {
 		return nil
 	}
@@ -128,13 +139,26 @@ func (r *Recommender) Probability(context []string, q string) float64 {
 
 // internContext resolves context strings to IDs, dropping unknown queries.
 func (r *Recommender) internContext(context []string) query.Seq {
-	ctx := make(query.Seq, 0, len(context))
+	return r.AppendContext(make(query.Seq, 0, len(context)), context)
+}
+
+// InternContext resolves the user's context strings to interned IDs,
+// dropping queries unknown to the training vocabulary. The result feeds
+// RecommendIDs and is the canonical cache key for a request.
+func (r *Recommender) InternContext(context []string) query.Seq {
+	return r.internContext(context)
+}
+
+// AppendContext is the zero-allocation variant of InternContext: resolved
+// IDs are appended to dst (which may be a pooled buffer) and the extended
+// slice is returned.
+func (r *Recommender) AppendContext(dst query.Seq, context []string) query.Seq {
 	for _, q := range context {
 		if id, ok := r.dict.Lookup(q); ok {
-			ctx = append(ctx, id)
+			dst = append(dst, id)
 		}
 	}
-	return ctx
+	return dst
 }
 
 // Dict exposes the query dictionary.

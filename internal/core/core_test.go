@@ -170,6 +170,39 @@ func TestTrainFromSessionsDirect(t *testing.T) {
 	}
 }
 
+func TestInternAndRecommendIDsEquivalence(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	context := []string{"unknown filler", "nokia n73"}
+	ctx := rec.InternContext(context)
+	if len(ctx) != 1 {
+		t.Fatalf("InternContext kept %d IDs, want 1 (unknowns dropped)", len(ctx))
+	}
+	if got := rec.AppendContext(nil, context); !got.Equal(ctx) {
+		t.Fatalf("AppendContext = %v, InternContext = %v", got, ctx)
+	}
+	// Appending into a pre-sized buffer must reuse it.
+	buf := make(query.Seq, 0, 8)
+	if got := rec.AppendContext(buf, context); &got[0] != &buf[:1][0] {
+		t.Fatal("AppendContext reallocated despite spare capacity")
+	}
+	want := rec.Recommend(context, 5)
+	got := rec.RecommendIDs(ctx, 5)
+	if len(want) == 0 || len(got) != len(want) {
+		t.Fatalf("RecommendIDs returned %d suggestions, Recommend %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("suggestion %d: RecommendIDs %+v vs Recommend %+v", i, got[i], want[i])
+		}
+	}
+	if got := rec.RecommendIDs(nil, 5); got != nil {
+		t.Fatalf("empty interned context recommended %v", got)
+	}
+}
+
 func TestRecommendConcurrentReaders(t *testing.T) {
 	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
 	if err != nil {

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+)
+
+// ringSize bounds the latency sample window. 4096 recent samples give
+// stable p50/p99 estimates at serving rates without unbounded memory.
+const ringSize = 4096
+
+// latencyRing is a fixed-size ring of recent request latencies in
+// microseconds. Recording is O(1) under a short critical section;
+// quantiles copy and sort on demand (the /metrics path is cold).
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [ringSize]int64
+	n   uint64 // total samples ever recorded
+}
+
+func (r *latencyRing) record(us int64) {
+	r.mu.Lock()
+	r.buf[r.n%ringSize] = us
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot returns a sorted copy of the currently held samples.
+func (r *latencyRing) snapshot() []int64 {
+	r.mu.Lock()
+	n := r.n
+	if n > ringSize {
+		n = ringSize
+	}
+	out := make([]int64, n)
+	copy(out, r.buf[:n])
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// quantile reads the q-th quantile (0..1) from a sorted sample, 0 when
+// empty.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// metrics aggregates the handler's serving counters.
+type metrics struct {
+	requests      atomic.Uint64 // every HTTP request
+	suggests      atomic.Uint64 // GET /suggest requests served
+	batches       atomic.Uint64 // POST /suggest/batch requests served
+	batchContexts atomic.Uint64 // contexts answered across batch requests
+	errors        atomic.Uint64 // responses with status >= 400
+	panics        atomic.Uint64 // panics recovered by middleware
+	reloads       atomic.Uint64 // successful model swaps
+	lat           latencyRing   // suggest + per-batch-context latencies
+}
+
+// MetricsResponse is the GET /metrics payload: request counters, cache
+// effectiveness, and latency quantiles over the recent sample window.
+type MetricsResponse struct {
+	Requests        uint64      `json:"requests"`
+	SuggestRequests uint64      `json:"suggest_requests"`
+	BatchRequests   uint64      `json:"batch_requests"`
+	BatchContexts   uint64      `json:"batch_contexts"`
+	Errors          uint64      `json:"errors"`
+	Panics          uint64      `json:"panics"`
+	Reloads         uint64      `json:"reloads"`
+	Cache           cache.Stats `json:"cache"`
+	CacheHitRate    float64     `json:"cache_hit_rate"`
+	LatencySamples  int         `json:"latency_samples"`
+	P50Micros       int64       `json:"latency_p50_us"`
+	P90Micros       int64       `json:"latency_p90_us"`
+	P99Micros       int64       `json:"latency_p99_us"`
+	ModelGeneration uint64      `json:"model_generation"`
+	KnownQueries    int         `json:"known_queries"`
+	UptimeSeconds   float64     `json:"uptime_seconds"`
+}

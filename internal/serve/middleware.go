@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter captures the response status so the instrumentation
+// middleware can count errors and log outcomes.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps next with the serving middleware: request counting,
+// panic recovery (a handler bug answers 500 instead of killing the
+// connection and, under http.Server, the process's goroutine), error
+// counting, and optional request logging.
+func (h *Handler) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.m.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if err := recover(); err != nil {
+				h.m.panics.Add(1)
+				if h.opts.Logger != nil {
+					h.opts.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, err, debug.Stack())
+				}
+				if !sw.wrote {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			if sw.status() >= 400 {
+				h.m.errors.Add(1)
+			}
+			if h.opts.Logger != nil {
+				h.opts.Logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status(), time.Since(start))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -2,18 +2,33 @@
 // search engine query recommendation" deployment the paper concludes the
 // MVMM is suitable for (Sec. VI: constant-time online prediction).
 //
+// The handler is production-shaped: a sharded LRU result cache fronts the
+// model (power-law traffic makes the head of the context distribution very
+// hot — Fig. 6), every request is timed into a latency ring, panics are
+// recovered, and the model itself sits behind an atomic pointer so it can
+// be hot-reloaded without pausing traffic.
+//
 // Endpoints:
 //
-//	GET /suggest?q=<query>&q=<query>...&n=5   ranked suggestions for a context
-//	GET /healthz                              liveness + model stats
+//	GET  /suggest?q=<query>&q=<query>...&n=5  ranked suggestions for a context
+//	POST /suggest/batch                       many contexts in one request
+//	GET  /healthz                             liveness + model stats
+//	GET  /metrics                             serving counters and latency quantiles
+//	POST /reload                              hot-swap the model (when configured)
 package serve
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 )
 
@@ -23,11 +38,32 @@ type Suggestion struct {
 	Score float64 `json:"score"`
 }
 
-// SuggestResponse is the /suggest payload.
+// SuggestResponse is the /suggest payload and one element of the batch
+// response.
 type SuggestResponse struct {
 	Context     []string     `json:"context"`
 	Suggestions []Suggestion `json:"suggestions"`
 	TookMicros  int64        `json:"took_us"`
+}
+
+// BatchItem is one context in a POST /suggest/batch request. Omitting n
+// (or sending 0) selects the handler's default suggestion count; negative
+// values are rejected.
+type BatchItem struct {
+	Context []string `json:"context"`
+	N       int      `json:"n,omitempty"`
+}
+
+// BatchRequest is the POST /suggest/batch body.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchResponse is the POST /suggest/batch payload. Results align 1:1 with
+// the request's items.
+type BatchResponse struct {
+	Results    []SuggestResponse `json:"results"`
+	TookMicros int64             `json:"took_us"`
 }
 
 // Health is the /healthz payload.
@@ -35,33 +71,141 @@ type Health struct {
 	Status        string `json:"status"`
 	KnownQueries  int    `json:"known_queries"`
 	TrainSessions uint64 `json:"train_sessions"`
+	Generation    uint64 `json:"model_generation"`
 }
 
-// Handler routes recommendation traffic to a trained core.Recommender.
-// The recommender is read-only after training, so one Handler serves
-// concurrent requests without locking.
-type Handler struct {
-	rec  *core.Recommender
-	topN int
-	mux  *http.ServeMux
+// ReloadResponse is the POST /reload payload.
+type ReloadResponse struct {
+	Generation   uint64 `json:"model_generation"`
+	KnownQueries int    `json:"known_queries"`
+	TookMicros   int64  `json:"took_us"`
 }
 
-// NewHandler wraps a trained recommender. defaultN is the suggestion count
-// when the request omits n (the paper's N = 5).
-func NewHandler(rec *core.Recommender, defaultN int) *Handler {
-	if defaultN <= 0 {
-		defaultN = 5
+// Options configures a Handler.
+type Options struct {
+	// DefaultN is the suggestion count when a request omits n (the paper's
+	// N = 5). <= 0 selects 5.
+	DefaultN int
+	// MaxN bounds per-request n. <= 0 selects 100.
+	MaxN int
+	// MaxBatch bounds the number of contexts in one batch request. <= 0
+	// selects 256.
+	MaxBatch int
+	// CacheCapacity sizes the result LRU; <= 0 selects
+	// cache.DefaultCapacity.
+	CacheCapacity int
+	// Logger receives request logs and recovered panics. nil disables
+	// request logging (panics are still recovered and counted).
+	Logger *log.Logger
+	// ReloadFunc, when set, enables POST /reload: it must return a freshly
+	// loaded recommender. Handler serialises calls.
+	ReloadFunc func() (*core.Recommender, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultN <= 0 {
+		o.DefaultN = 5
 	}
-	h := &Handler{rec: rec, topN: defaultN, mux: http.NewServeMux()}
+	if o.MaxN <= 0 {
+		o.MaxN = 100
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	return o
+}
+
+// modelState bundles the recommender with its generation so a request
+// observes one consistent (model, generation) pair: the generation is part
+// of every cache key, which keeps results computed against an old model
+// from answering for a new one across a hot reload.
+type modelState struct {
+	rec *core.Recommender
+	gen uint64
+}
+
+// Handler routes recommendation traffic to a hot-swappable
+// core.Recommender. The recommender is immutable after training, so request
+// handling never locks; reloads swap an atomic pointer.
+type Handler struct {
+	opts     Options
+	state    atomic.Pointer[modelState]
+	cache    *cache.SuggestCache
+	mux      *http.ServeMux
+	chain    http.Handler
+	m        metrics
+	reloadMu sync.Mutex
+	start    time.Time
+}
+
+// New builds a Handler serving rec with the given options.
+func New(rec *core.Recommender, opts Options) *Handler {
+	h := &Handler{
+		opts:  opts.withDefaults(),
+		cache: cache.NewSuggestCache(opts.CacheCapacity),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	h.state.Store(&modelState{rec: rec, gen: 1})
 	h.mux.HandleFunc("/suggest", h.suggest)
+	h.mux.HandleFunc("/suggest/batch", h.suggestBatch)
 	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/metrics", h.metricsHandler)
+	h.mux.HandleFunc("/reload", h.reload)
+	h.chain = h.instrument(h.mux)
 	return h
+}
+
+// NewHandler wraps a trained recommender with default options. defaultN is
+// the suggestion count when the request omits n (the paper's N = 5).
+func NewHandler(rec *core.Recommender, defaultN int) *Handler {
+	return New(rec, Options{DefaultN: defaultN})
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.chain.ServeHTTP(w, r)
 }
+
+// Swap atomically replaces the served model, bumps the generation and purges
+// the result cache. In-flight requests finish against the model they loaded;
+// no traffic is dropped. Returns the new generation.
+func (h *Handler) Swap(rec *core.Recommender) uint64 {
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	return h.swapLocked(rec)
+}
+
+func (h *Handler) swapLocked(rec *core.Recommender) uint64 {
+	old := h.state.Load()
+	next := &modelState{rec: rec, gen: old.gen + 1}
+	h.state.Store(next)
+	// Purge releases the old generation's entries; stale Puts that race the
+	// swap are keyed by the old generation and can never answer new-model
+	// lookups — they just age out of the LRU.
+	h.cache.Purge()
+	h.m.reloads.Add(1)
+	return next.gen
+}
+
+// Reload invokes the configured ReloadFunc and swaps the result in. It is
+// the shared implementation of POST /reload and cmd/serve's SIGHUP path.
+func (h *Handler) Reload() (uint64, error) {
+	if h.opts.ReloadFunc == nil {
+		return 0, errors.New("serve: no ReloadFunc configured")
+	}
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	rec, err := h.opts.ReloadFunc()
+	if err != nil {
+		return 0, err
+	}
+	return h.swapLocked(rec), nil
+}
+
+// Generation returns the current model generation (1 for the initial
+// model, +1 per successful reload).
+func (h *Handler) Generation() uint64 { return h.state.Load().gen }
 
 func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -74,33 +218,140 @@ func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameters (one per context query, oldest first)", http.StatusBadRequest)
 		return
 	}
-	n := h.topN
+	n := h.opts.DefaultN
 	if raw := q.Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
-		if err != nil || v < 1 || v > 100 {
-			http.Error(w, "n must be an integer in [1,100]", http.StatusBadRequest)
+		if err != nil || v < 1 || v > h.opts.MaxN {
+			http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", h.opts.MaxN), http.StatusBadRequest)
 			return
 		}
 		n = v
 	}
+	st := h.state.Load()
 	start := time.Now()
-	recs := h.rec.Recommend(context, n)
+	recs := h.cache.Recommend(st.gen, st.rec, context, n)
+	took := time.Since(start).Microseconds()
+	h.m.suggests.Add(1)
+	h.m.lat.record(took)
+	writeJSON(w, http.StatusOK, h.suggestResponse(context, recs, took))
+}
+
+func (h *Handler) suggestResponse(context []string, recs []core.Suggestion, tookMicros int64) SuggestResponse {
 	resp := SuggestResponse{
 		Context:     context,
 		Suggestions: make([]Suggestion, len(recs)),
-		TookMicros:  time.Since(start).Microseconds(),
+		TookMicros:  tookMicros,
 	}
 	for i, s := range recs {
 		resp.Suggestions[i] = Suggestion{Query: s.Query, Score: s.Score}
 	}
+	return resp
+}
+
+func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) == 0 {
+		http.Error(w, "empty batch: requests must contain at least one context", http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) > h.opts.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), h.opts.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	for i, item := range req.Requests {
+		if len(item.Context) == 0 {
+			http.Error(w, fmt.Sprintf("requests[%d]: empty context", i), http.StatusBadRequest)
+			return
+		}
+		if item.N < 0 || item.N > h.opts.MaxN {
+			http.Error(w, fmt.Sprintf("requests[%d]: n must be in [1,%d] (or omitted)", i, h.opts.MaxN), http.StatusBadRequest)
+			return
+		}
+	}
+	st := h.state.Load()
+	resp := BatchResponse{Results: make([]SuggestResponse, len(req.Requests))}
+	batchStart := time.Now()
+	for i, item := range req.Requests {
+		n := item.N
+		if n == 0 {
+			n = h.opts.DefaultN
+		}
+		start := time.Now()
+		recs := h.cache.Recommend(st.gen, st.rec, item.Context, n)
+		took := time.Since(start).Microseconds()
+		h.m.lat.record(took)
+		resp.Results[i] = h.suggestResponse(item.Context, recs, took)
+	}
+	resp.TookMicros = time.Since(batchStart).Microseconds()
+	h.m.batches.Add(1)
+	h.m.batchContexts.Add(uint64(len(req.Requests)))
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	st := h.state.Load()
 	writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
-		KnownQueries:  h.rec.Dict().Len(),
-		TrainSessions: h.rec.Stats().Sessions,
+		KnownQueries:  st.rec.Dict().Len(),
+		TrainSessions: st.rec.Stats().Sessions,
+		Generation:    st.gen,
+	})
+}
+
+func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	st := h.state.Load()
+	cs := h.cache.Stats()
+	sorted := h.m.lat.snapshot()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Requests:        h.m.requests.Load(),
+		SuggestRequests: h.m.suggests.Load(),
+		BatchRequests:   h.m.batches.Load(),
+		BatchContexts:   h.m.batchContexts.Load(),
+		Errors:          h.m.errors.Load(),
+		Panics:          h.m.panics.Load(),
+		Reloads:         h.m.reloads.Load(),
+		Cache:           cs,
+		CacheHitRate:    cs.HitRate(),
+		LatencySamples:  len(sorted),
+		P50Micros:       quantile(sorted, 0.50),
+		P90Micros:       quantile(sorted, 0.90),
+		P99Micros:       quantile(sorted, 0.99),
+		ModelGeneration: st.gen,
+		KnownQueries:    st.rec.Dict().Len(),
+		UptimeSeconds:   time.Since(h.start).Seconds(),
+	})
+}
+
+func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if h.opts.ReloadFunc == nil {
+		http.Error(w, "reload not configured", http.StatusNotImplemented)
+		return
+	}
+	start := time.Now()
+	gen, err := h.Reload()
+	if err != nil {
+		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	st := h.state.Load()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Generation:   gen,
+		KnownQueries: st.rec.Dict().Len(),
+		TookMicros:   time.Since(start).Microseconds(),
 	})
 }
 

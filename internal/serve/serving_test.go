@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// altRecommender trains a second model over a different vocabulary, used to
+// observe hot reloads taking effect.
+func altRecommender(t testing.TB) *core.Recommender {
+	t.Helper()
+	d := query.NewDict()
+	a, b := d.Intern("smtp"), d.Intern("pop3")
+	var sessions []query.Seq
+	for i := 0; i < 10; i++ {
+		sessions = append(sessions, query.Seq{a, b})
+	}
+	cfg := core.DefaultConfig()
+	cfg.Epsilons = []float64{0.0, 0.05}
+	cfg.Mixture.TrainSample = 50
+	cfg.Mixture.NewtonIters = 3
+	return core.TrainFromSessions(d, sessions, cfg)
+}
+
+func postBatch(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/suggest/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+
+	body := `{"requests":[{"context":["o2"]},{"context":["o2","o2 mobile"],"n":1},{"context":["never seen"]}]}`
+	resp := postBatch(t, srv.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(out.Results))
+	}
+	if len(out.Results[0].Suggestions) == 0 || out.Results[0].Suggestions[0].Query != "o2 mobile" {
+		t.Fatalf("results[0] = %+v", out.Results[0])
+	}
+	if len(out.Results[1].Suggestions) != 1 || out.Results[1].Suggestions[0].Query != "o2 mobile phones" {
+		t.Fatalf("results[1] = %+v", out.Results[1])
+	}
+	if len(out.Results[2].Suggestions) != 0 {
+		t.Fatalf("unknown context results[2] = %+v", out.Results[2])
+	}
+	if out.TookMicros < 0 {
+		t.Fatalf("TookMicros = %d", out.TookMicros)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	srv := httptest.NewServer(New(testRecommender(t), Options{MaxBatch: 4}))
+	defer srv.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"invalid JSON", `{"requests":`},
+		{"empty body", ``},
+		{"no requests", `{"requests":[]}`},
+		{"null requests", `{}`},
+		{"empty context item", `{"requests":[{"context":[]}]}`},
+		{"negative n", `{"requests":[{"context":["o2"],"n":-1}]}`},
+		{"oversized n", `{"requests":[{"context":["o2"],"n":1000}]}`},
+		{"unknown field", `{"requests":[{"context":["o2"]}],"bogus":1}`},
+		{"over MaxBatch", `{"requests":[{"context":["o2"]},{"context":["o2"]},{"context":["o2"]},{"context":["o2"]},{"context":["o2"]}]}`},
+	}
+	for _, tc := range cases {
+		resp := postBatch(t, srv.URL, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/suggest/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET batch: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCacheHitEquivalence verifies the acceptance criterion that cached
+// results are byte-identical to uncached ones: the first request computes,
+// the second hits the LRU, and the serialized suggestions must match
+// exactly.
+func TestCacheHitEquivalence(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+
+	fetch := func() []byte {
+		resp, err := http.Get(srv.URL + "/suggest?q=o2&q=o2+mobile")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out SuggestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		// took_us legitimately varies per request; the recommendation
+		// payload must not.
+		raw, err := json.Marshal(struct {
+			Context     []string
+			Suggestions []Suggestion
+		}{out.Context, out.Suggestions})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	miss := fetch()
+	hit := fetch()
+	if !bytes.Equal(miss, hit) {
+		t.Fatalf("cached response diverged:\nmiss: %s\nhit:  %s", miss, hit)
+	}
+
+	var m MetricsResponse
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want exactly 1 hit / 1 miss", m.Cache)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/suggest?q=o2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp := postBatch(t, srv.URL, `{"requests":[{"context":["o2"]},{"context":["o2 mobile"]}]}`)
+	resp.Body.Close()
+	resp, err := http.Get(srv.URL + "/suggest") // missing q -> 400
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SuggestRequests != 3 || m.BatchRequests != 1 || m.BatchContexts != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", m.Errors)
+	}
+	if m.Requests != 6 { // 3 suggest + 1 batch + 1 bad + this /metrics... not yet counted? metrics GET runs after snapshot
+		// The /metrics request itself increments the counter before the
+		// handler snapshots, so 6 = 3 + 1 + 1 + 1.
+		t.Fatalf("requests = %d, want 6", m.Requests)
+	}
+	if m.LatencySamples != 5 { // 3 single + 2 batch contexts
+		t.Fatalf("latency samples = %d, want 5", m.LatencySamples)
+	}
+	if m.P50Micros < 0 || m.P99Micros < m.P50Micros {
+		t.Fatalf("quantiles p50=%d p99=%d", m.P50Micros, m.P99Micros)
+	}
+	if m.ModelGeneration != 1 || m.KnownQueries != 3 {
+		t.Fatalf("model metrics = %+v", m)
+	}
+}
+
+func TestConcurrentSuggest(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	defer srv.Close()
+	client := srv.Client()
+
+	contexts := []string{"o2", "o2+mobile", "o2&q=o2+mobile", "unknown+thing"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(srv.URL + "/suggest?q=" + contexts[(g+i)%len(contexts)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status = %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestReloadSwapsWithoutDroppingRequests hammers /suggest while the model
+// is hot-swapped via POST /reload; every request must succeed, and after
+// the swap the new model's vocabulary must answer.
+func TestReloadSwapsWithoutDroppingRequests(t *testing.T) {
+	alt := altRecommender(t)
+	h := New(testRecommender(t), Options{
+		ReloadFunc: func() (*core.Recommender, error) { return alt, nil },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	client := srv.Client()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(srv.URL + "/suggest?q=o2")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("request dropped during reload: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	resp, err := client.Post(srv.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rl ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rl.Generation != 2 || rl.KnownQueries != 2 {
+		t.Fatalf("reload response = %d %+v", resp.StatusCode, rl)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The swapped-in model must serve its own vocabulary...
+	sresp, err := client.Get(srv.URL + "/suggest?q=smtp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var out SuggestResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Suggestions) == 0 || out.Suggestions[0].Query != "pop3" {
+		t.Fatalf("post-reload suggestions = %+v", out.Suggestions)
+	}
+	// ...and no stale cache entry may answer for the old vocabulary.
+	oresp, err := client.Get(srv.URL + "/suggest?q=o2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oresp.Body.Close()
+	out = SuggestResponse{}
+	if err := json.NewDecoder(oresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Suggestions) != 0 {
+		t.Fatalf("old vocabulary answered after reload: %+v", out.Suggestions)
+	}
+	if got := h.Generation(); got != 2 {
+		t.Fatalf("generation = %d, want 2", got)
+	}
+}
+
+func TestReloadErrors(t *testing.T) {
+	// Not configured -> 501.
+	srv := httptest.NewServer(NewHandler(testRecommender(t), 5))
+	resp, err := http.Post(srv.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unconfigured reload status = %d, want 501", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload status = %d, want 405", resp.StatusCode)
+	}
+	srv.Close()
+
+	// Failing ReloadFunc -> 500, old model keeps serving.
+	h := New(testRecommender(t), Options{
+		ReloadFunc: func() (*core.Recommender, error) { return nil, fmt.Errorf("disk gone") },
+	})
+	srv = httptest.NewServer(h)
+	defer srv.Close()
+	resp, err = http.Post(srv.URL+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed reload status = %d, want 500", resp.StatusCode)
+	}
+	if h.Generation() != 1 {
+		t.Fatalf("generation bumped on failed reload: %d", h.Generation())
+	}
+	resp, err = http.Get(srv.URL + "/suggest?q=o2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("old model stopped serving after failed reload: %d", resp.StatusCode)
+	}
+}
+
+// TestPanicRecovery drives the instrumentation middleware with a panicking
+// handler: the client must see a 500 and the panic counter must move.
+func TestPanicRecovery(t *testing.T) {
+	h := NewHandler(testRecommender(t), 5)
+	boom := h.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rr := httptest.NewRecorder()
+	boom.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/suggest", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("recovered status = %d, want 500", rr.Code)
+	}
+	if got := h.m.panics.Load(); got != 1 {
+		t.Fatalf("panics = %d, want 1", got)
+	}
+	if got := h.m.errors.Load(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+}
+
+func TestHealthGeneration(t *testing.T) {
+	h := New(testRecommender(t), Options{
+		ReloadFunc: func() (*core.Recommender, error) { return altRecommender(t), nil },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := h.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hp Health
+	if err := json.NewDecoder(resp.Body).Decode(&hp); err != nil {
+		t.Fatal(err)
+	}
+	if hp.Generation != 2 || hp.KnownQueries != 2 {
+		t.Fatalf("health after reload = %+v", hp)
+	}
+}
+
+func TestLatencyRingWraps(t *testing.T) {
+	var r latencyRing
+	for i := 0; i < ringSize+100; i++ {
+		r.record(int64(i))
+	}
+	s := r.snapshot()
+	if len(s) != ringSize {
+		t.Fatalf("snapshot length = %d, want %d", len(s), ringSize)
+	}
+	// Oldest 100 samples were overwritten: minimum must be >= 100.
+	if s[0] < 100 {
+		t.Fatalf("stale sample survived wrap: %d", s[0])
+	}
+	if quantile(s, 1.0) != int64(ringSize+99) {
+		t.Fatalf("max = %d", quantile(s, 1.0))
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
