@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet ci serve loadgen clean
+# Serving-path benchmarks tracked across PRs in BENCH_serving.json.
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached
+# Override for quick smoke runs: make bench-json BENCHTIME=10x
+BENCHTIME ?= 1s
+
+.PHONY: all build test race bench bench-json fmt fmt-check vet ci serve loadgen clean
 
 all: build test
 
@@ -19,6 +24,15 @@ race:
 # Benchmark smoke: one iteration of every benchmark, no test re-runs.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Machine-readable serving benchmarks: regenerates BENCH_serving.json so the
+# perf trajectory (ns/op, B/op, allocs/op) is diffable across PRs. The bench
+# run lands in a temp file first so a mid-run benchmark failure fails the
+# target instead of vanishing into a pipe.
+bench-json:
+	$(GO) test -run=NONE -bench='$(SERVING_BENCH)' -benchmem -benchtime=$(BENCHTIME) . > BENCH_serving.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_serving.json < BENCH_serving.tmp
+	@rm -f BENCH_serving.tmp
 
 fmt:
 	gofmt -w .
@@ -44,4 +58,4 @@ loadgen:
 	$(GO) run ./cmd/loadgen -addr http://localhost:8080
 
 clean:
-	rm -f model.bin
+	rm -f model.bin BENCH_serving.tmp

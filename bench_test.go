@@ -21,6 +21,7 @@ import (
 	"repro/internal/hmm"
 	"repro/internal/loggen"
 	"repro/internal/markov"
+	"repro/internal/model"
 	"repro/internal/pairwise"
 	"repro/internal/query"
 	"repro/internal/serve"
@@ -337,12 +338,14 @@ var (
 
 // serveBenchSetup trains an end-to-end recommender on the shared corpus and
 // renders a pool of realistic string contexts for the serving benchmarks.
+// The mixture uses the paper's full eleven-component ε set — the model the
+// deployment claims are about, and the one the compiled single PST merges.
 func serveBenchSetup(b *testing.B) (*core.Recommender, [][]string) {
 	b.Helper()
 	c, _ := benchSetup(b)
 	serveBenchOnce.Do(func() {
 		cfg := core.DefaultConfig()
-		cfg.Epsilons = []float64{0.0, 0.05}
+		cfg.Epsilons = markov.DefaultEpsilons()
 		cfg.Mixture.TrainSample = 500
 		cfg.Mixture.NewtonIters = 10
 		serveBenchRec = core.TrainFromAggregated(c.Dict, c.TrainAgg, cfg)
@@ -361,7 +364,8 @@ func serveBenchSetup(b *testing.B) (*core.Recommender, [][]string) {
 }
 
 // BenchmarkSuggestUncached is the raw model hot path under parallel load:
-// every request interns its context and runs the full MVMM prediction.
+// every request interns its context and runs the full prediction (through
+// the compiled PST since PR 2).
 func BenchmarkSuggestUncached(b *testing.B) {
 	rec, ctxs := serveBenchSetup(b)
 	var seq atomic.Int64
@@ -373,6 +377,92 @@ func BenchmarkSuggestUncached(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkRecommendUncached is the steady-state uncached predict path the
+// compiled PST was built for: contexts are pre-interned (as the cache front
+// does per request) and suggestions land in a per-goroutine recycled buffer,
+// so ns/op is pure model work and allocs/op must be zero.
+func BenchmarkRecommendUncached(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	if rec.CompiledModel() == nil {
+		b.Fatal("recommender did not compile")
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 31
+		buf := make([]core.Suggestion, 0, 8)
+		for pb.Next() {
+			buf = rec.AppendSuggestions(buf[:0], ctxs[i%len(ctxs)], 5)
+			i++
+		}
+	})
+}
+
+// BenchmarkRecommendUncachedInterpreted is the same workload forced through
+// the interpreted MVMM — the before side of the compiled-PST comparison.
+func BenchmarkRecommendUncachedInterpreted(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	mix := rec.Model()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(seq.Add(1)) * 31
+		for pb.Next() {
+			mix.Predict(ctxs[i%len(ctxs)], 5)
+			i++
+		}
+	})
+}
+
+// BenchmarkPredictCompiled measures the compiled single-PST descent alone
+// (the successor of BenchmarkPredictMVMM's interpreted walk).
+func BenchmarkPredictCompiled(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	buf := make([]model.Prediction, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = cm.AppendPredictions(buf[:0], ctxs[i%len(ctxs)], 5)
+	}
+}
+
+// BenchmarkProbCompiled measures the allocation-free mixture probability.
+func BenchmarkProbCompiled(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := ctxs[i%len(ctxs)]
+		cm.Prob(ctx, ctx[len(ctx)-1])
+	}
 }
 
 // BenchmarkSuggestCached is the same workload through the sharded LRU front

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, so the serving-path performance trajectory
+// (ns/op, B/op, allocs/op per benchmark) can be diffed across PRs instead of
+// living in prose. `make bench-json` writes BENCH_serving.json with it and
+// CI runs the same target as a smoke check.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem . | benchjson -out BENCH_serving.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements. Standard -benchmem columns
+// get first-class fields; b.ReportMetric extras land in Metrics.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole document: environment header lines plus results keyed
+// by benchmark name (GOMAXPROCS suffix stripped).
+type Output struct {
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Output{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, err := parseBenchLine(line)
+			if err != nil {
+				log.Printf("skipping %q: %v", line, err)
+				continue
+			}
+			doc.Benchmarks[name] = res
+		}
+		// PASS/FAIL/ok lines and test noise fall through silently.
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(doc.Benchmarks), *out)
+}
+
+// parseBenchLine decodes one result line of the standard bench format:
+//
+//	BenchmarkName-8   12345   678.9 ns/op   10 B/op   2 allocs/op   1.0 extra-metric
+func parseBenchLine(line string) (string, Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, fmt.Errorf("want >= 4 fields, got %d", len(fields))
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, fmt.Errorf("iterations: %v", err)
+	}
+	res := Result{Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, fmt.Errorf("value %q: %v", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	if !seenNs {
+		return "", Result{}, fmt.Errorf("no ns/op column")
+	}
+	return name, res, nil
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -64,6 +65,11 @@ func main() {
 		latMu    sync.Mutex
 		lats     []time.Duration
 	)
+	// Snapshot allocator/GC state on both sides of the run so regressions in
+	// the serving path show up here, not just in microbenchmarks.
+	serverBefore := fetchMetrics(client, *addr)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
@@ -92,6 +98,8 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	ok := len(lats)
@@ -106,7 +114,21 @@ func main() {
 		fmt.Printf("latency:     p50 %s  p90 %s  p99 %s  max %s\n",
 			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), lats[ok-1])
 	}
-	printServerMetrics(client, *addr)
+	printClientMem(memBefore, memAfter, ok)
+	printServerMetrics(client, *addr, serverBefore, ctxServed)
+}
+
+// printClientMem reports the load generator's own runtime.ReadMemStats
+// deltas across the run — the client-side allocation and GC pause budget.
+func printClientMem(before, after runtime.MemStats, ok int) {
+	if ok == 0 {
+		ok = 1
+	}
+	fmt.Printf("client mem:  %.1f allocs/req, %.1f MiB allocated, %d GCs, %s total GC pause\n",
+		float64(after.Mallocs-before.Mallocs)/float64(ok),
+		float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
+		after.NumGC-before.NumGC,
+		(time.Duration(after.PauseTotalNs-before.PauseTotalNs) * time.Nanosecond).Round(time.Microsecond))
 }
 
 // buildContexts derives every proper prefix of the generated sessions as a
@@ -183,20 +205,39 @@ func pct(sorted []time.Duration, q float64) time.Duration {
 	return sorted[int(q*float64(len(sorted)-1))].Round(time.Microsecond)
 }
 
-func printServerMetrics(client *http.Client, addr string) {
+// fetchMetrics snapshots the server's /metrics, or nil when unreachable.
+func fetchMetrics(client *http.Client, addr string) *serve.MetricsResponse {
 	resp, err := client.Get(addr + "/metrics")
 	if err != nil {
-		log.Printf("fetching /metrics: %v", err)
-		return
+		return nil
 	}
 	defer resp.Body.Close()
 	var m serve.MetricsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		log.Printf("decoding /metrics: %v", err)
+		return nil
+	}
+	return &m
+}
+
+func printServerMetrics(client *http.Client, addr string, before *serve.MetricsResponse, ctxServed int) {
+	m := fetchMetrics(client, addr)
+	if m == nil {
+		log.Printf("fetching /metrics failed")
 		return
 	}
 	fmt.Printf("server:      cache hit rate %.1f%% (%d hits / %d misses, %d evictions), "+
-		"server-side p50 %dus p99 %dus, generation %d\n",
+		"server-side p50 %dus p99 %dus, generation %d, compiled nodes %d\n",
 		100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions,
-		m.P50Micros, m.P99Micros, m.ModelGeneration)
+		m.P50Micros, m.P99Micros, m.ModelGeneration, m.CompiledNodes)
+	if before == nil {
+		return
+	}
+	if ctxServed == 0 {
+		ctxServed = 1
+	}
+	gcPause := time.Duration(m.Runtime.GCPauseTotalMicros-before.Runtime.GCPauseTotalMicros) * time.Microsecond
+	fmt.Printf("server mem:  %.1f allocs/context, %.1f MiB allocated, %d GCs, %s total GC pause over the run\n",
+		float64(m.Runtime.Mallocs-before.Runtime.Mallocs)/float64(ctxServed),
+		float64(m.Runtime.TotalAllocBytes-before.Runtime.TotalAllocBytes)/(1<<20),
+		m.Runtime.NumGC-before.Runtime.NumGC, gcPause)
 }

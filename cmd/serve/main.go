@@ -75,7 +75,15 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("model loaded: %d known queries; listening on %s", rec.Dict().Len(), *addr)
+	if cm := rec.CompiledModel(); cm != nil {
+		// V002 model files carry the compiled PST, so this cold start paid no
+		// recompilation cost; V001 files compile during Load.
+		log.Printf("model loaded: %d known queries, compiled PST with %d nodes / %d followers (depth %d, %d components); listening on %s",
+			rec.Dict().Len(), cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components(), *addr)
+	} else {
+		log.Printf("model loaded: %d known queries, serving interpreted mixture (compile unavailable); listening on %s",
+			rec.Dict().Len(), *addr)
+	}
 
 	// SIGHUP hot-reloads the model file; SIGINT/SIGTERM drain and exit.
 	reload := make(chan os.Signal, 1)

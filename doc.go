@@ -20,6 +20,17 @@
 // the server with SIGHUP/POST-reload and graceful shutdown; cmd/loadgen
 // replays power-law synthetic traffic against it.
 //
+// The model itself is split into a build phase and a serve phase. Training
+// produces the interpreted map-based MVMM (internal/markov) — the mutable
+// build artifact that evaluation code walks and files persist. Before
+// serving, internal/compiled flattens the whole mixture into a single
+// merged Prediction Suffix Tree in CSR arrays (the paper's Table VII
+// single-PST deployment note), with per-node component bitmasks,
+// escape-chain counts and precomputed smoothed probabilities: one trie
+// descent per request, zero steady-state allocations, and predictions a
+// seeded property test holds to the interpreted mixture's — identical IDs
+// and order, scores within 1e-12.
+//
 // Entry points: internal/core for the end-to-end recommender API,
 // cmd/experiments for the full evaluation harness, and bench_test.go for the
 // per-table/figure benchmarks. See README.md, DESIGN.md and EXPERIMENTS.md.

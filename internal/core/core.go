@@ -15,10 +15,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
+	"repro/internal/compiled"
 	"repro/internal/logfmt"
 	"repro/internal/markov"
+	"repro/internal/model"
 	"repro/internal/query"
 	"repro/internal/session"
 )
@@ -55,12 +58,28 @@ type Suggestion struct {
 }
 
 // Recommender is a trained end-to-end query recommendation system.
+//
+// After training (or loading) the mixture is compiled into a flat single-PST
+// serving form (internal/compiled): RecommendIDs and Probability run one trie
+// descent with zero steady-state allocations instead of walking the K
+// map-based component trees. The interpreted mixture is retained as the
+// build artifact — evaluation code reads it via Model, and it is what Save
+// persists alongside the compiled form. Should compilation ever fail (it
+// cannot for mixtures built by this pipeline) the recommender transparently
+// serves from the interpreted model instead.
 type Recommender struct {
 	dict  *query.Dict
 	mix   *markov.MVMM
+	comp  *compiled.Model // nil ⇒ interpreted fallback
 	stats session.Stats
 	cfg   Config
 }
+
+// predBufs pools prediction scratch for the zero-allocation serving path.
+var predBufs = sync.Pool{New: func() any {
+	b := make([]model.Prediction, 0, 64)
+	return &b
+}}
 
 // TrainFromLog reads a raw search log (logfmt records), runs the full
 // pipeline and trains the MVMM.
@@ -91,7 +110,9 @@ func TrainFromAggregated(dict *query.Dict, agg []query.Session, cfg Config) *Rec
 		eps = markov.DefaultEpsilons()
 	}
 	mix := markov.NewMVMMFromEpsilons(agg, eps, dict.Len(), cfg.Mixture)
-	return &Recommender{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg}
+	r := &Recommender{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg}
+	r.comp, _ = compiled.Compile(mix)
+	return r
 }
 
 // Recommend returns up to n ranked query suggestions for the user's context
@@ -109,21 +130,43 @@ func (r *Recommender) Recommend(context []string, n int) []Suggestion {
 
 // RecommendIDs is the allocation-lean core of Recommend: it accepts an
 // already-interned context (see InternContext / AppendContext) so serving
-// layers that cache on context IDs intern exactly once per request. The
-// context slice is not retained.
+// layers that cache on context IDs intern exactly once per request, and it
+// predicts through the compiled model. The context slice is not retained.
+// The returned slice is freshly allocated (result caches retain it); use
+// AppendSuggestions to recycle the output buffer too.
 func (r *Recommender) RecommendIDs(ctx query.Seq, n int) []Suggestion {
 	if len(ctx) == 0 {
 		return nil
 	}
-	preds := r.mix.Predict(ctx, n)
-	if len(preds) == 0 {
+	out := r.AppendSuggestions(make([]Suggestion, 0, n), ctx, n)
+	if len(out) == 0 {
 		return nil
 	}
-	out := make([]Suggestion, len(preds))
-	for i, p := range preds {
-		out[i] = Suggestion{Query: r.dict.String(p.Query), Score: p.Score}
-	}
 	return out
+}
+
+// AppendSuggestions appends up to n ranked suggestions for the interned
+// context to dst and returns the extended slice. With a recycled dst this is
+// the zero-allocation serving path: the compiled model predicts into pooled
+// scratch and suggestion strings are shared with the dictionary.
+func (r *Recommender) AppendSuggestions(dst []Suggestion, ctx query.Seq, n int) []Suggestion {
+	if len(ctx) == 0 {
+		return dst
+	}
+	if r.comp == nil { // interpreted fallback
+		for _, p := range r.mix.Predict(ctx, n) {
+			dst = append(dst, Suggestion{Query: r.dict.String(p.Query), Score: p.Score})
+		}
+		return dst
+	}
+	buf := predBufs.Get().(*[]model.Prediction)
+	preds := r.comp.AppendPredictions((*buf)[:0], ctx, n)
+	for _, p := range preds {
+		dst = append(dst, Suggestion{Query: r.dict.String(p.Query), Score: p.Score})
+	}
+	*buf = preds[:0]
+	predBufs.Put(buf)
+	return dst
 }
 
 // Probability returns the model's estimate that the user's next query is q
@@ -133,6 +176,9 @@ func (r *Recommender) Probability(context []string, q string) float64 {
 	id, ok := r.dict.Lookup(q)
 	if !ok {
 		return 0
+	}
+	if r.comp != nil {
+		return r.comp.Prob(ctx, id)
 	}
 	return r.mix.Prob(ctx, id)
 }
@@ -167,58 +213,84 @@ func (r *Recommender) Dict() *query.Dict { return r.dict }
 // Model exposes the trained mixture (for evaluation and persistence).
 func (r *Recommender) Model() *markov.MVMM { return r.mix }
 
+// CompiledModel exposes the flat serving form, or nil when the recommender
+// fell back to the interpreted mixture.
+func (r *Recommender) CompiledModel() *compiled.Model { return r.comp }
+
 // Stats returns the training-collection statistics (Table IV shape).
 func (r *Recommender) Stats() session.Stats { return r.stats }
 
-const saveMagicV1 = "QRECV001"
+// Save-format magics. V001 files hold (dictionary, mixture); V002 appends a
+// third section with the compiled single-PST serving form so cold starts
+// skip recompilation. Load reads both.
+const (
+	saveMagicV1 = "QRECV001"
+	saveMagicV2 = "QRECV002"
+)
 
-// Save persists the recommender (dictionary + mixture) to w. Each section
-// is length-prefixed so Load can hand each decoder a bounded reader
-// (decoders buffer internally and would otherwise read past their section).
-func (r *Recommender) Save(w io.Writer) error {
-	if _, err := io.WriteString(w, saveMagicV1); err != nil {
-		return err
-	}
-	writeSection := func(name string, wt io.WriterTo) error {
-		var buf bytes.Buffer
+// writeSection emits one length-prefixed section so Load can hand each
+// decoder a bounded reader (decoders buffer internally and would otherwise
+// read past their section).
+func writeSection(w io.Writer, name string, wt io.WriterTo) error {
+	var buf bytes.Buffer
+	if wt != nil {
 		if _, err := wt.WriteTo(&buf); err != nil {
 			return fmt.Errorf("core: saving %s: %w", name, err)
 		}
-		var hdr [8]byte
-		binary.LittleEndian.PutUint64(hdr[:], uint64(buf.Len()))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return err
-		}
-		_, err := w.Write(buf.Bytes())
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if err := writeSection("dictionary", r.dict); err != nil {
-		return err
-	}
-	return writeSection("model", r.mix)
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
-// Load restores a recommender written by Save.
+// Save persists the recommender — dictionary, interpreted mixture (the build
+// artifact) and compiled serving form — in the V002 layout. A recommender
+// without a compiled model writes an empty third section; Load recompiles.
+func (r *Recommender) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, saveMagicV2); err != nil {
+		return err
+	}
+	if err := writeSection(w, "dictionary", r.dict); err != nil {
+		return err
+	}
+	if err := writeSection(w, "model", r.mix); err != nil {
+		return err
+	}
+	var comp io.WriterTo
+	if r.comp != nil {
+		comp = r.comp
+	}
+	return writeSection(w, "compiled model", comp)
+}
+
+// Load restores a recommender written by Save: the current V002 layout or
+// the legacy V001 layout (which lacks the compiled section — the serving
+// form is then compiled from the mixture on the spot).
 func Load(rd io.Reader) (*Recommender, error) {
 	magic := make([]byte, len(saveMagicV1))
 	if _, err := io.ReadFull(rd, magic); err != nil {
 		return nil, fmt.Errorf("core: reading header: %w", err)
 	}
-	if string(magic) != saveMagicV1 {
+	version := string(magic)
+	if version != saveMagicV1 && version != saveMagicV2 {
 		return nil, fmt.Errorf("core: unrecognised model file header %q", magic)
 	}
-	section := func(name string) (io.Reader, error) {
+	section := func(name string) (io.Reader, uint64, error) {
 		var hdr [8]byte
 		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
-			return nil, fmt.Errorf("core: reading %s header: %w", name, err)
+			return nil, 0, fmt.Errorf("core: reading %s header: %w", name, err)
 		}
 		n := binary.LittleEndian.Uint64(hdr[:])
 		if n > 1<<40 {
-			return nil, fmt.Errorf("core: implausible %s section of %d bytes", name, n)
+			return nil, 0, fmt.Errorf("core: implausible %s section of %d bytes", name, n)
 		}
-		return io.LimitReader(rd, int64(n)), nil
+		return io.LimitReader(rd, int64(n)), n, nil
 	}
-	ds, err := section("dictionary")
+	ds, _, err := section("dictionary")
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +298,7 @@ func Load(rd io.Reader) (*Recommender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: loading dictionary: %w", err)
 	}
-	ms, err := section("model")
+	ms, _, err := section("model")
 	if err != nil {
 		return nil, err
 	}
@@ -234,5 +306,21 @@ func Load(rd io.Reader) (*Recommender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
-	return &Recommender{dict: dict, mix: mix, cfg: DefaultConfig()}, nil
+	r := &Recommender{dict: dict, mix: mix, cfg: DefaultConfig()}
+	if version == saveMagicV2 {
+		cs, n, err := section("compiled model")
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			comp, err := compiled.Read(cs)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading compiled model: %w", err)
+			}
+			r.comp = comp
+			return r, nil
+		}
+	}
+	r.comp, _ = compiled.Compile(mix)
+	return r, nil
 }

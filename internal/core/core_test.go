@@ -203,6 +203,143 @@ func TestInternAndRecommendIDsEquivalence(t *testing.T) {
 	}
 }
 
+// writeV1 emits the legacy QRECV001 layout (dictionary + mixture, no
+// compiled section) — the format every pre-V002 model file on disk uses.
+func writeV1(t *testing.T, rec *Recommender) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.WriteString(saveMagicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSection(&buf, "dictionary", rec.Dict()); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSection(&buf, "model", rec.Model()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveWritesV2WithCompiledSection(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CompiledModel() == nil {
+		t.Fatal("training did not compile the mixture")
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String()[:len(saveMagicV2)]; got != saveMagicV2 {
+		t.Fatalf("header = %q, want %q", got, saveMagicV2)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CompiledModel() == nil {
+		t.Fatal("V002 load did not restore the compiled model")
+	}
+	// The persisted compiled form must be the one served, bit-identical to
+	// the freshly compiled one.
+	if n, l := rec.CompiledModel().Nodes(), loaded.CompiledModel().Nodes(); n != l {
+		t.Fatalf("compiled trie resized across save/load: %d vs %d", n, l)
+	}
+	for _, ctxs := range [][]string{{"nokia n73"}, {"kidney stones"}, {"nokia n73", "nokia n73 themes"}} {
+		a, b := rec.Recommend(ctxs, 5), loaded.Recommend(ctxs, 5)
+		if len(a) != len(b) {
+			t.Fatalf("ctx %v: %d vs %d suggestions", ctxs, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ctx %v rank %d: %+v vs %+v", ctxs, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadV1BackCompat(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(writeV1(t, rec)))
+	if err != nil {
+		t.Fatalf("loading V001 file: %v", err)
+	}
+	if loaded.CompiledModel() == nil {
+		t.Fatal("V001 load did not compile the mixture")
+	}
+	for _, ctxs := range [][]string{{"nokia n73"}, {"kidney stones"}} {
+		a, b := rec.Recommend(ctxs, 5), loaded.Recommend(ctxs, 5)
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("ctx %v: %d vs %d suggestions", ctxs, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ctx %v rank %d: %+v vs %+v", ctxs, i, a[i], b[i])
+			}
+		}
+	}
+	p := loaded.Probability([]string{"nokia n73"}, "nokia n73 themes")
+	if p <= 0.5 {
+		t.Fatalf("V001-loaded P(themes | n73) = %v, want dominant", p)
+	}
+}
+
+func TestCompiledMatchesInterpretedThroughCore(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CompiledModel() == nil {
+		t.Fatal("no compiled model")
+	}
+	// Force the interpreted path on a clone sharing dict and mixture.
+	interp := &Recommender{dict: rec.dict, mix: rec.mix, stats: rec.stats, cfg: rec.cfg}
+	for _, ctxs := range [][]string{
+		{"nokia n73"}, {"kidney stones"},
+		{"nokia n73", "nokia n73 themes"}, {"unknown", "nokia n73"},
+	} {
+		a, b := rec.Recommend(ctxs, 5), interp.Recommend(ctxs, 5)
+		if len(a) != len(b) {
+			t.Fatalf("ctx %v: compiled %d vs interpreted %d suggestions (%v vs %v)", ctxs, len(a), len(b), a, b)
+		}
+		for i := range a {
+			if a[i].Query != b[i].Query {
+				t.Fatalf("ctx %v rank %d: compiled %q vs interpreted %q", ctxs, i, a[i].Query, b[i].Query)
+			}
+		}
+	}
+}
+
+func TestAppendSuggestionsReusesBuffer(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := rec.InternContext([]string{"nokia n73"})
+	want := rec.RecommendIDs(ctx, 5)
+	if len(want) == 0 {
+		t.Fatal("no suggestions")
+	}
+	buf := make([]Suggestion, 0, 8)
+	got := rec.AppendSuggestions(buf[:0], ctx, 5)
+	if len(got) != len(want) {
+		t.Fatalf("AppendSuggestions returned %d, RecommendIDs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("suggestion %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendSuggestions reallocated despite spare capacity")
+	}
+}
+
 func TestRecommendConcurrentReaders(t *testing.T) {
 	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
 	if err != nil {

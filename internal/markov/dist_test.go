@@ -102,7 +102,11 @@ func TestSmoothedPSumsToOne(t *testing.T) {
 		if d.Total() == 0 {
 			return true
 		}
-		vocab := d.Support() + int(vocabRaw%30)
+		// Every observed ID lies in [0, 20), so vocab >= 20 guarantees the
+		// summation loop covers the whole support (SmoothedP assumes IDs are
+		// dense below vocab; a smaller vocab would skip observed IDs when a
+		// zero count leaves a hole in the ID range).
+		vocab := 20 + int(vocabRaw%30)
 		var sum float64
 		for q := 0; q < vocab; q++ {
 			sum += d.SmoothedP(query.ID(q), vocab)

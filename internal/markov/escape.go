@@ -74,5 +74,35 @@ func (t *EscapeTable) Escape(s query.Seq) float64 {
 	return float64(start) / float64(occ)
 }
 
+// escapeKey is Escape over a context pre-encoded in the Seq.Key layout; the
+// suffix is the key minus its leading 4 bytes, looked up without allocating.
+func (t *EscapeTable) escapeKey(b []byte) float64 {
+	suf := b[4:]
+	if len(suf) == 0 {
+		return 0.5
+	}
+	occ := t.occ[string(suf)]
+	if occ == 0 {
+		return 1
+	}
+	start := t.startOcc[string(suf)]
+	if start == 0 {
+		return 1 / float64(occ+1)
+	}
+	return float64(start) / float64(occ)
+}
+
 // Len reports the number of distinct windows tracked.
 func (t *EscapeTable) Len() int { return len(t.occ) }
+
+// MaxLen reports the window-length bound the table was counted with.
+func (t *EscapeTable) MaxLen() int { return t.maxLen }
+
+// ForEachWindow visits every tracked window with its occurrence counts, in
+// unspecified order. Used by the compiled-model builder to merge the
+// per-component tables into the flat trie.
+func (t *EscapeTable) ForEachWindow(f func(key string, occ, startOcc uint64)) {
+	for k, o := range t.occ {
+		f(k, o, t.startOcc[k])
+	}
+}

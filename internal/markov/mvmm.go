@@ -190,20 +190,22 @@ func (m *MVMM) Components() []*VMM { return m.comps }
 // Sigmas returns the learned Gaussian widths, one per component.
 func (m *MVMM) Sigmas() []float64 { return append([]float64(nil), m.sigma...) }
 
-// weights computes the normalised Eq. (4) mixing weights for a context:
-// each component's Gaussian density at the edit distance between the context
-// and that component's matched state. Components that cannot match at all
-// receive zero weight.
-func (m *MVMM) weights(ctx query.Seq) []float64 {
+// matchAll runs every component's MatchState exactly once, returning each
+// component's matched-state distribution (nil when uncovered) alongside the
+// normalised Eq. (4) mixing weights. Predict and Prob both consume the same
+// single walk — previously each re-matched all K components a second time.
+func (m *MVMM) matchAll(ctx query.Seq) ([]*Dist, []float64) {
+	dists := make([]*Dist, len(m.comps))
 	w := make([]float64, len(m.comps))
 	var sum float64
 	for i, c := range m.comps {
-		state, _, ok := c.MatchState(ctx)
+		state, d, ok := c.MatchState(ctx)
 		if !ok {
 			continue
 		}
-		d := float64(textutil.SuffixDistance(ctx, state))
-		w[i] = gaussian(d, m.sigma[i])
+		dists[i] = d
+		dist := float64(textutil.SuffixDistance(ctx, state))
+		w[i] = gaussian(dist, m.sigma[i])
 		sum += w[i]
 	}
 	if sum > 0 {
@@ -211,6 +213,15 @@ func (m *MVMM) weights(ctx query.Seq) []float64 {
 			w[i] /= sum
 		}
 	}
+	return dists, w
+}
+
+// weights computes the normalised Eq. (4) mixing weights for a context:
+// each component's Gaussian density at the edit distance between the context
+// and that component's matched state. Components that cannot match at all
+// receive zero weight.
+func (m *MVMM) weights(ctx query.Seq) []float64 {
+	_, w := m.matchAll(ctx)
 	return w
 }
 
@@ -221,19 +232,15 @@ func (m *MVMM) Predict(ctx query.Seq, topN int) []model.Prediction {
 	if len(ctx) == 0 || topN <= 0 {
 		return nil
 	}
-	w := m.weights(ctx)
+	dists, w := m.matchAll(ctx)
 	cands := make(map[query.ID]struct{})
 	any := false
-	for i, c := range m.comps {
-		if w[i] == 0 {
+	for i := range m.comps {
+		if w[i] == 0 || dists[i] == nil {
 			continue
 		}
 		any = true
-		_, d, ok := c.MatchState(ctx)
-		if !ok {
-			continue
-		}
-		for _, p := range d.TopN(topN * 4) {
+		for _, p := range dists[i].TopN(topN * 4) {
 			cands[p.Query] = struct{}{}
 		}
 	}

@@ -27,6 +27,11 @@ func gaussian(d, sigma float64) float64 {
 	return math.Exp(-d*d/(2*sigma*sigma)) / (sigma * math.Sqrt(2*math.Pi))
 }
 
+// Gaussian exposes the Eq. (4) mixture-weight density. The compiled serving
+// model must reproduce the mixture's weights bit-for-bit, so it evaluates the
+// exact same function rather than a reimplementation.
+func Gaussian(d, sigma float64) float64 { return gaussian(d, sigma) }
+
 // F evaluates the objective.
 func (o *mixObjective) F(sigma []float64) float64 {
 	var f float64

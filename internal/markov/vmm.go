@@ -339,6 +339,15 @@ func (m *VMM) Escape() *EscapeTable { return m.esc }
 // Root returns the empty-context prior distribution (node e).
 func (m *VMM) Root() *Dist { return m.root }
 
+// ForEachNode visits every stored PST node (suffix key in the Seq.Key
+// layout plus its follower distribution) in unspecified order. Used by the
+// compiled-model builder to merge components into a single flat trie.
+func (m *VMM) ForEachNode(f func(key string, d *Dist)) {
+	for k, d := range m.nodes {
+		f(k, d)
+	}
+}
+
 // nodeKeys returns all stored suffix keys; used by the union-PST size
 // accounting of Table VII.
 func (m *VMM) nodeKeys() map[string]struct{} {
@@ -349,18 +358,39 @@ func (m *VMM) nodeKeys() map[string]struct{} {
 	return out
 }
 
+// matchKeyBuf is the stack-allocated scratch for suffix-key encoding on the
+// prediction hot path: contexts up to 64 queries deep walk the tree without
+// heap allocation (deeper ones fall back to a transient buffer).
+const matchKeyBuf = 64 * 4
+
+// appendSeqKey encodes s in the Seq.Key layout (4 bytes per ID, big-endian)
+// into dst without the string conversion, so suffix lookups can index the
+// node map via the zero-copy map[string(b)] idiom.
+func appendSeqKey(dst []byte, s query.Seq) []byte {
+	for _, q := range s {
+		dst = append(dst, byte(q>>24), byte(q>>16), byte(q>>8), byte(q))
+	}
+	return dst
+}
+
 // MatchState returns the deepest suffix of ctx stored in the tree with
 // prediction evidence, and whether any such state exists. The empty state is
-// returned only when ctx itself is empty.
+// returned only when ctx itself is empty. The walk is allocation-free: the
+// tail of ctx is encoded once into a stack buffer and every suffix key is a
+// trailing slice of it.
 func (m *VMM) MatchState(ctx query.Seq) (query.Seq, *Dist, bool) {
 	start := len(ctx)
 	if m.depth < start {
 		start = m.depth
 	}
+	if start == 0 {
+		return nil, nil, false
+	}
+	var arr [matchKeyBuf]byte
+	b := appendSeqKey(arr[:0], ctx[len(ctx)-start:])
 	for k := start; k >= 1; k-- {
-		suf := ctx[len(ctx)-k:]
-		if d, ok := m.nodes[suf.Key()]; ok && d.Total() > 0 {
-			return suf, d, true
+		if d, ok := m.nodes[string(b[len(b)-4*k:])]; ok && d.Total() > 0 {
+			return ctx[len(ctx)-k:], d, true
 		}
 	}
 	return nil, nil, false
@@ -400,10 +430,22 @@ func (m *VMM) ProbEscape(ctx query.Seq, q query.ID) float64 {
 	if len(ctx) == 0 {
 		return m.root.SmoothedP(q, m.cfg.Vocab)
 	}
-	if d, ok := m.nodes[ctx.Key()]; ok && d.Total() > 0 {
+	var arr [matchKeyBuf]byte
+	b := appendSeqKey(arr[:0], ctx)
+	return m.probEscapeKey(b, q)
+}
+
+// probEscapeKey is the escape-chain recursion over the pre-encoded context
+// key: each level drops the oldest query (the leading 4 key bytes), so the
+// whole chain reuses one buffer and performs zero-copy map lookups.
+func (m *VMM) probEscapeKey(b []byte, q query.ID) float64 {
+	if len(b) == 0 {
+		return m.root.SmoothedP(q, m.cfg.Vocab)
+	}
+	if d, ok := m.nodes[string(b)]; ok && d.Total() > 0 {
 		return d.SmoothedP(q, m.cfg.Vocab)
 	}
-	return m.esc.Escape(ctx) * m.ProbEscape(ctx.Suffix(), q)
+	return m.esc.escapeKey(b) * m.probEscapeKey(b[4:], q)
 }
 
 // GenProb returns the escape-chain generative probability of an entire

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,23 +65,54 @@ type metrics struct {
 	lat           latencyRing   // suggest + per-batch-context latencies
 }
 
+// RuntimeStats is the allocation and GC slice of /metrics. Load generators
+// diff two snapshots to attribute allocation and pause cost to a traffic
+// window — the way serving-path allocation regressions surface in load tests
+// rather than only in microbenchmarks.
+type RuntimeStats struct {
+	HeapAllocBytes     uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes    uint64 `json:"total_alloc_bytes"`
+	Mallocs            uint64 `json:"mallocs"`
+	NumGC              uint32 `json:"num_gc"`
+	GCPauseTotalMicros uint64 `json:"gc_pause_total_us"`
+	NumGoroutines      int    `json:"num_goroutines"`
+}
+
+// readRuntimeStats snapshots the process allocator and GC counters. The
+// /metrics path is cold, so the brief ReadMemStats stop-the-world is fine.
+func readRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		HeapAllocBytes:     ms.HeapAlloc,
+		TotalAllocBytes:    ms.TotalAlloc,
+		Mallocs:            ms.Mallocs,
+		NumGC:              ms.NumGC,
+		GCPauseTotalMicros: ms.PauseTotalNs / 1000,
+		NumGoroutines:      runtime.NumGoroutine(),
+	}
+}
+
 // MetricsResponse is the GET /metrics payload: request counters, cache
-// effectiveness, and latency quantiles over the recent sample window.
+// effectiveness, latency quantiles over the recent sample window, and
+// process allocation/GC counters.
 type MetricsResponse struct {
-	Requests        uint64      `json:"requests"`
-	SuggestRequests uint64      `json:"suggest_requests"`
-	BatchRequests   uint64      `json:"batch_requests"`
-	BatchContexts   uint64      `json:"batch_contexts"`
-	Errors          uint64      `json:"errors"`
-	Panics          uint64      `json:"panics"`
-	Reloads         uint64      `json:"reloads"`
-	Cache           cache.Stats `json:"cache"`
-	CacheHitRate    float64     `json:"cache_hit_rate"`
-	LatencySamples  int         `json:"latency_samples"`
-	P50Micros       int64       `json:"latency_p50_us"`
-	P90Micros       int64       `json:"latency_p90_us"`
-	P99Micros       int64       `json:"latency_p99_us"`
-	ModelGeneration uint64      `json:"model_generation"`
-	KnownQueries    int         `json:"known_queries"`
-	UptimeSeconds   float64     `json:"uptime_seconds"`
+	Requests        uint64       `json:"requests"`
+	SuggestRequests uint64       `json:"suggest_requests"`
+	BatchRequests   uint64       `json:"batch_requests"`
+	BatchContexts   uint64       `json:"batch_contexts"`
+	Errors          uint64       `json:"errors"`
+	Panics          uint64       `json:"panics"`
+	Reloads         uint64       `json:"reloads"`
+	Cache           cache.Stats  `json:"cache"`
+	CacheHitRate    float64      `json:"cache_hit_rate"`
+	LatencySamples  int          `json:"latency_samples"`
+	P50Micros       int64        `json:"latency_p50_us"`
+	P90Micros       int64        `json:"latency_p90_us"`
+	P99Micros       int64        `json:"latency_p99_us"`
+	ModelGeneration uint64       `json:"model_generation"`
+	KnownQueries    int          `json:"known_queries"`
+	CompiledNodes   int          `json:"compiled_nodes"`
+	UptimeSeconds   float64      `json:"uptime_seconds"`
+	Runtime         RuntimeStats `json:"runtime"`
 }

@@ -66,12 +66,16 @@ type BatchResponse struct {
 	TookMicros int64             `json:"took_us"`
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload. Compiled reports whether requests are
+// served from the flat single-PST form (the expected state; false means the
+// interpreted-mixture fallback) and CompiledNodes its merged trie size.
 type Health struct {
 	Status        string `json:"status"`
 	KnownQueries  int    `json:"known_queries"`
 	TrainSessions uint64 `json:"train_sessions"`
 	Generation    uint64 `json:"model_generation"`
+	Compiled      bool   `json:"compiled"`
+	CompiledNodes int    `json:"compiled_nodes,omitempty"`
 }
 
 // ReloadResponse is the POST /reload payload.
@@ -300,18 +304,27 @@ func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 	st := h.state.Load()
-	writeJSON(w, http.StatusOK, Health{
+	resp := Health{
 		Status:        "ok",
 		KnownQueries:  st.rec.Dict().Len(),
 		TrainSessions: st.rec.Stats().Sessions,
 		Generation:    st.gen,
-	})
+	}
+	if cm := st.rec.CompiledModel(); cm != nil {
+		resp.Compiled = true
+		resp.CompiledNodes = cm.Nodes()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	st := h.state.Load()
 	cs := h.cache.Stats()
 	sorted := h.m.lat.snapshot()
+	compiledNodes := 0
+	if cm := st.rec.CompiledModel(); cm != nil {
+		compiledNodes = cm.Nodes()
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Requests:        h.m.requests.Load(),
 		SuggestRequests: h.m.suggests.Load(),
@@ -328,7 +341,9 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		P99Micros:       quantile(sorted, 0.99),
 		ModelGeneration: st.gen,
 		KnownQueries:    st.rec.Dict().Len(),
+		CompiledNodes:   compiledNodes,
 		UptimeSeconds:   time.Since(h.start).Seconds(),
+		Runtime:         readRuntimeStats(),
 	})
 }
 
