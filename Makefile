@@ -4,9 +4,12 @@
 GO ?= go
 
 # Serving-path benchmarks tracked across PRs in BENCH_serving.json.
-SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkPredictBatch64|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3
 # Override for quick smoke runs: make bench-json BENCHTIME=10x
 BENCHTIME ?= 1s
+# Regression gates applied by cmd/benchjson after recording: the cached HTTP
+# serving path must stay within its allocation budget.
+BENCH_GATES = -gate BenchmarkServeHTTPCached=2
 
 .PHONY: all build test race bench bench-json fmt fmt-check vet ci serve loadgen clean
 
@@ -25,13 +28,14 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Machine-readable serving benchmarks: regenerates BENCH_serving.json so the
-# perf trajectory (ns/op, B/op, allocs/op) is diffable across PRs. The bench
-# run lands in a temp file first so a mid-run benchmark failure fails the
-# target instead of vanishing into a pipe.
+# Machine-readable serving benchmarks: appends a commit-stamped entry to the
+# BENCH_serving.json trajectory so perf history (ns/op, B/op, allocs/op) is
+# diffable across PRs, then applies the allocation regression gates. The
+# bench run lands in a temp file first so a mid-run benchmark failure fails
+# the target instead of vanishing into a pipe.
 bench-json:
 	$(GO) test -run=NONE -bench='$(SERVING_BENCH)' -benchmem -benchtime=$(BENCHTIME) . > BENCH_serving.tmp
-	$(GO) run ./cmd/benchjson -out BENCH_serving.json < BENCH_serving.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_serving.json $(BENCH_GATES) < BENCH_serving.tmp
 	@rm -f BENCH_serving.tmp
 
 fmt:

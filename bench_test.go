@@ -7,14 +7,20 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/compiled"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/experiments"
@@ -486,25 +492,232 @@ func BenchmarkSuggestCached(b *testing.B) {
 	b.ReportMetric(sc.Stats().HitRate(), "hit-rate")
 }
 
-// BenchmarkServeHTTPCached measures the full handler stack (mux, middleware,
-// cache, JSON encoding) on a hot context without network overhead.
+// benchRecorder is a minimal ResponseWriter with recyclable buffers, so the
+// serving benchmarks measure the handler stack rather than
+// httptest.NewRecorder's per-request allocations.
+type benchRecorder struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+func (r *benchRecorder) Header() http.Header { return r.header }
+func (r *benchRecorder) WriteHeader(c int) {
+	if r.code == 0 {
+		r.code = c
+	}
+}
+func (r *benchRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	r.body = append(r.body, p...)
+	return len(p), nil
+}
+func (r *benchRecorder) reset() {
+	r.code = 0
+	r.body = r.body[:0]
+}
+
+// BenchmarkServeHTTPCached measures the full handler stack (routing,
+// middleware, cache, JSON encoding) on a hot context without network
+// overhead — the zero-allocation serving path's headline number.
 func BenchmarkServeHTTPCached(b *testing.B) {
 	rec, ctxs := serveBenchSetup(b)
 	h := serve.NewHandler(rec, 5)
 	target := "/suggest?q=" + url.QueryEscape(ctxs[0][0])
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		// Each goroutine needs its own request: ServeMux writes routing
-		// state onto *http.Request during dispatch.
 		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rr := &benchRecorder{header: make(http.Header, 4)}
 		for pb.Next() {
-			rr := httptest.NewRecorder()
+			rr.reset()
 			h.ServeHTTP(rr, req)
-			if rr.Code != http.StatusOK {
-				b.Fatalf("status %d", rr.Code)
+			if rr.code != http.StatusOK {
+				b.Fatalf("status %d", rr.code)
 			}
 		}
 	})
+}
+
+// BenchmarkServeHTTPBatch measures POST /suggest/batch end to end with
+// 64-context requests: JSON decode, cache front, one batched trie descent
+// for the misses, append-encoded response. ns/op is per batch.
+func BenchmarkServeHTTPBatch(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	h := serve.NewHandler(rec, 5)
+	req := serve.BatchRequest{Requests: make([]serve.BatchItem, 64)}
+	for i := range req.Requests {
+		req.Requests[i] = serve.BatchItem{Context: ctxs[(i*7)%len(ctxs)], N: 5}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rr := &benchRecorder{header: make(http.Header, 4)}
+		for pb.Next() {
+			hr := httptest.NewRequest(http.MethodPost, "/suggest/batch", bytes.NewReader(body))
+			rr.reset()
+			h.ServeHTTP(rr, hr)
+			if rr.code != http.StatusOK {
+				b.Fatalf("status %d: %s", rr.code, rr.body)
+			}
+		}
+	})
+	b.ReportMetric(64, "contexts/op")
+}
+
+// --- batched-descent benchmarks ---------------------------------------------
+
+// batchBenchInputs draws a 64-context batch from the test contexts with the
+// skew real batch traffic has (power-law head repetition — the same shape
+// cmd/loadgen replays), so the batch contains both near-duplicate and
+// distinct contexts.
+func batchBenchInputs(b *testing.B) (*compiled.Model, []query.Seq, []int) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) < 64 {
+		b.Skip("not enough contexts")
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, 1.2, 8, uint64(len(ctxs)-1))
+	batch := make([]query.Seq, 64)
+	ns := make([]int, 64)
+	for i := range batch {
+		batch[i] = ctxs[zipf.Uint64()]
+		ns[i] = 5
+	}
+	return cm, batch, ns
+}
+
+// BenchmarkPredictBatch64 scores a 64-context batch through one shared-
+// scratch batched descent; compare ns/context with
+// BenchmarkPredictSequential64, the same work as 64 single calls.
+func BenchmarkPredictBatch64(b *testing.B) {
+	cm, ctxs, ns := batchBenchInputs(b)
+	sink := 0
+	emit := func(i int, preds []model.Prediction) { sink += len(preds) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.PredictBatch(ctxs, ns, emit)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/context")
+	if sink == 0 {
+		b.Fatal("batch produced no predictions")
+	}
+}
+
+// BenchmarkPredictSequential64 is the before side of the batched-descent
+// comparison: the same 64 contexts predicted one AppendPredictions call at a
+// time.
+func BenchmarkPredictSequential64(b *testing.B) {
+	cm, ctxs, ns := batchBenchInputs(b)
+	buf := make([]model.Prediction, 0, 8)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, ctx := range ctxs {
+			buf = cm.AppendPredictions(buf[:0], ctx, ns[j])
+			sink += len(buf)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/context")
+	if sink == 0 {
+		b.Fatal("no predictions")
+	}
+}
+
+// --- cold-start benchmarks ---------------------------------------------------
+
+var (
+	coldOnce       sync.Once
+	coldV2, coldV3 string
+	coldErr        error
+)
+
+// coldStartSetup persists the serving benchmark model once in both formats:
+// V002 (varint compiled section, heap decode) and V003 (flat compiled
+// section, mmap).
+func coldStartSetup(b *testing.B) (v2, v3 string) {
+	rec, _ := serveBenchSetup(b)
+	coldOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "repro-coldstart")
+		if err != nil {
+			coldErr = err
+			return
+		}
+		write := func(path, version string) error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := rec.SaveAs(f, version); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		coldV2 = filepath.Join(dir, "model-v2.bin")
+		coldV3 = filepath.Join(dir, "model-v3.bin")
+		if err := write(coldV2, "QRECV002"); err != nil {
+			coldErr = err
+			return
+		}
+		coldErr = write(coldV3, "QRECV003")
+	})
+	if coldErr != nil {
+		b.Fatal(coldErr)
+	}
+	return coldV2, coldV3
+}
+
+// BenchmarkColdStartHeapV2 is the before side of the mmap comparison: a full
+// V002 load — dictionary, interpreted mixture, varint-decoded compiled
+// section — into freshly allocated heap structures.
+func BenchmarkColdStartHeapV2(b *testing.B) {
+	v2, _ := coldStartSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := core.LoadPath(v2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.CompiledModel() == nil || rec.LoadInfo().Mode != core.LoadModeHeap {
+			b.Fatalf("unexpected load: %+v", rec.LoadInfo())
+		}
+	}
+}
+
+// BenchmarkColdStartMmapV3 is the after side: a V003 LoadPath — dictionary
+// decode plus an mmap of the compiled section; the mixture stays on disk
+// until first use and trie pages fault in lazily.
+func BenchmarkColdStartMmapV3(b *testing.B) {
+	_, v3 := coldStartSetup(b)
+	if _, err := core.LoadPath(v3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := core.LoadPath(v3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.CompiledModel() == nil {
+			b.Fatal("no compiled model")
+		}
+		// Release the mapping eagerly: thousands of live mappings would trip
+		// vm.max_map_count long before the GC ran any cleanups.
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- future-work extension benchmarks ---------------------------------------

@@ -1,12 +1,22 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON document, so the serving-path performance trajectory
 // (ns/op, B/op, allocs/op per benchmark) can be diffed across PRs instead of
-// living in prose. `make bench-json` writes BENCH_serving.json with it and
-// CI runs the same target as a smoke check.
+// living in prose. `make bench-json` maintains BENCH_serving.json with it
+// and CI runs the same target as a smoke check.
+//
+// The output file is a trajectory, not a snapshot: each run appends (or, for
+// the same commit, replaces) a stamped entry, so perf history survives
+// across PRs. Files written by the old single-snapshot format are upgraded
+// in place, keeping their numbers as the first entry.
+//
+// The -gate flag turns the run into a regression check: after recording,
+// `-gate BenchmarkServeHTTPCached=2` exits non-zero if that benchmark's
+// allocs/op exceeds the given ceiling. CI uses it to fail on serving-path
+// allocation regressions.
 //
 // Usage:
 //
-//	go test -run=NONE -bench=. -benchmem . | benchjson -out BENCH_serving.json
+//	go test -run=NONE -bench=. -benchmem . | benchjson -out BENCH_serving.json -gate BenchmarkServeHTTPCached=2
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 )
@@ -30,49 +41,76 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the whole document: environment header lines plus results keyed
-// by benchmark name (GOMAXPROCS suffix stripped).
-type Output struct {
+// Entry is one recorded run: environment header lines plus results keyed by
+// benchmark name (GOMAXPROCS suffix stripped), stamped with the git commit
+// it was measured at.
+type Entry struct {
+	Commit     string            `json:"commit"`
 	GOOS       string            `json:"goos,omitempty"`
 	GOARCH     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
+// Output is the whole trajectory document, oldest entry first.
+type Output struct {
+	Entries []Entry `json:"entries"`
+}
+
+// legacyOutput is the pre-trajectory single-snapshot layout, still readable
+// so existing files upgrade in place.
+type legacyOutput struct {
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+type gateList []string
+
+func (g *gateList) String() string     { return strings.Join(*g, ",") }
+func (g *gateList) Set(v string) error { *g = append(*g, v); return nil }
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "", "output file (default stdout)")
+	out := flag.String("out", "", "trajectory file to update (default: print the new entry to stdout)")
+	commit := flag.String("commit", "", "commit stamp for this entry (default: BENCH_COMMIT env, then git describe)")
+	var gates gateList
+	flag.Var(&gates, "gate", "Benchmark=maxAllocs regression gate, repeatable; exits 1 when exceeded")
 	flag.Parse()
 
-	doc := Output{Benchmarks: make(map[string]Result)}
+	entry := Entry{Commit: resolveCommit(*commit), Benchmarks: make(map[string]Result)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, "goos:"):
-			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			entry.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
 		case strings.HasPrefix(line, "goarch:"):
-			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			entry.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "cpu:"):
-			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			entry.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			name, res, err := parseBenchLine(line)
 			if err != nil {
 				log.Printf("skipping %q: %v", line, err)
 				continue
 			}
-			doc.Benchmarks[name] = res
+			entry.Benchmarks[name] = res
 		}
 		// PASS/FAIL/ok lines and test noise fall through silently.
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
-	if len(doc.Benchmarks) == 0 {
+	if len(entry.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
+
+	doc := readTrajectory(*out)
+	doc.upsert(entry)
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -80,12 +118,104 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recorded %d benchmarks at commit %s (%d entries in %s)",
+			len(entry.Benchmarks), entry.Commit, len(doc.Entries), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+
+	// The entry is recorded either way; gate failures still fail the run.
+	if err := applyGates(entry, gates); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %d benchmarks to %s", len(doc.Benchmarks), *out)
+}
+
+// resolveCommit picks the entry stamp: explicit flag, BENCH_COMMIT (CI can
+// pass its SHA), then `git describe --always --dirty`.
+func resolveCommit(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if env := os.Getenv("BENCH_COMMIT"); env != "" {
+		return env
+	}
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	return "unknown"
+}
+
+// readTrajectory loads the existing trajectory, upgrading legacy
+// single-snapshot files into a one-entry history.
+func readTrajectory(path string) *Output {
+	doc := &Output{}
+	if path == "" {
+		return doc
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Fatalf("reading %s: %v", path, err)
+		}
+		return doc
+	}
+	if err := json.Unmarshal(raw, doc); err == nil && len(doc.Entries) > 0 {
+		return doc
+	}
+	var legacy legacyOutput
+	if err := json.Unmarshal(raw, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
+		doc.Entries = []Entry{{
+			Commit: "(pre-trajectory)", GOOS: legacy.GOOS, GOARCH: legacy.GOARCH,
+			CPU: legacy.CPU, Benchmarks: legacy.Benchmarks,
+		}}
+		return doc
+	}
+	log.Fatalf("%s exists but is neither a trajectory nor a legacy snapshot; refusing to overwrite", path)
+	return nil
+}
+
+// upsert appends the entry, replacing an existing entry for the same commit
+// (reruns refine rather than duplicate).
+func (o *Output) upsert(e Entry) {
+	for i := range o.Entries {
+		if o.Entries[i].Commit == e.Commit {
+			o.Entries[i] = e
+			return
+		}
+	}
+	o.Entries = append(o.Entries, e)
+}
+
+// applyGates enforces `Benchmark=maxAllocs` ceilings against the new entry.
+func applyGates(e Entry, gates []string) error {
+	for _, g := range gates {
+		name, limitStr, ok := strings.Cut(g, "=")
+		if !ok {
+			return fmt.Errorf("malformed -gate %q (want Benchmark=maxAllocs)", g)
+		}
+		limit, err := strconv.ParseFloat(limitStr, 64)
+		if err != nil {
+			return fmt.Errorf("malformed -gate limit %q: %v", limitStr, err)
+		}
+		res, ok := e.Benchmarks[name]
+		if !ok {
+			return fmt.Errorf("gate %s: benchmark missing from this run", name)
+		}
+		if res.AllocsPerOp == nil {
+			return fmt.Errorf("gate %s: no allocs/op column (run with -benchmem)", name)
+		}
+		if *res.AllocsPerOp > limit {
+			return fmt.Errorf("gate %s: %.1f allocs/op exceeds the %.1f ceiling — serving-path allocation regression",
+				name, *res.AllocsPerOp, limit)
+		}
+		log.Printf("gate %s: %.1f allocs/op <= %.1f ok", name, *res.AllocsPerOp, limit)
+	}
+	return nil
 }
 
 // parseBenchLine decodes one result line of the standard bench format:

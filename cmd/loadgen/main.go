@@ -65,6 +65,13 @@ func main() {
 		latMu    sync.Mutex
 		lats     []time.Duration
 	)
+	// Report how the server's model materialised (mmap vs heap, and how
+	// fast) so cold-start wins are visible from the traffic side too.
+	if h := fetchHealth(client, *addr); h != nil && h.LoadMode != "" {
+		log.Printf("server model: load mode %s (%s), loaded in %dus, generation %d",
+			h.LoadMode, h.LoadVersion, h.LoadMicros, h.Generation)
+	}
+
 	// Snapshot allocator/GC state on both sides of the run so regressions in
 	// the serving path show up here, not just in microbenchmarks.
 	serverBefore := fetchMetrics(client, *addr)
@@ -203,6 +210,20 @@ func pct(sorted []time.Duration, q float64) time.Duration {
 		return 0
 	}
 	return sorted[int(q*float64(len(sorted)-1))].Round(time.Microsecond)
+}
+
+// fetchHealth snapshots the server's /healthz, or nil when unreachable.
+func fetchHealth(client *http.Client, addr string) *serve.Health {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil
+	}
+	return &h
 }
 
 // fetchMetrics snapshots the server's /metrics, or nil when unreachable.

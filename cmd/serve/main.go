@@ -35,13 +35,18 @@ import (
 	"repro/internal/serve"
 )
 
+// loadModel loads through core.LoadPath so V003 model files take the mmap
+// fast path: the compiled serving form is mapped, not decoded, which makes
+// cold starts (and SIGHUP reloads) near-instant and shares trie pages across
+// server processes.
 func loadModel(path string) (*core.Recommender, error) {
-	f, err := os.Open(path)
+	rec, err := core.LoadPath(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.Load(f)
+	li := rec.LoadInfo()
+	log.Printf("model load: mode=%s version=%s took=%s", li.Mode, li.Version, li.Duration.Round(time.Microsecond))
+	return rec, nil
 }
 
 func main() {
@@ -76,8 +81,8 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if cm := rec.CompiledModel(); cm != nil {
-		// V002 model files carry the compiled PST, so this cold start paid no
-		// recompilation cost; V001 files compile during Load.
+		// V003 model files mmap the compiled PST (see the "model load" line
+		// for mode and duration); V002 decode it; V001 compile during Load.
 		log.Printf("model loaded: %d known queries, compiled PST with %d nodes / %d followers (depth %d, %d components); listening on %s",
 			rec.Dict().Len(), cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components(), *addr)
 	} else {

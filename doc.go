@@ -29,7 +29,17 @@
 // escape-chain counts and precomputed smoothed probabilities: one trie
 // descent per request, zero steady-state allocations, and predictions a
 // seeded property test holds to the interpreted mixture's — identical IDs
-// and order, scores within 1e-12.
+// and order, scores within 1e-12. PredictBatch extends the same engine to
+// whole batches: contexts are sorted by their reversed form so sibling
+// contexts share descent work, and in-batch duplicates are scored once.
+//
+// The compiled form also has an mmap-able persistent encoding (CPS3): every
+// CSR array stored as fixed-width little-endian values at aligned offsets,
+// so a V003 model file is loaded by mapping it — core.LoadPath slices the
+// arrays straight out of the page cache with no decoding, no
+// model-proportional allocation, lazy page-in, and read-only sharing across
+// server processes. Platforms without mmap or little-endian layout decode
+// the same blob portably; V001/V002 files still load and recompile.
 //
 // Entry points: internal/core for the end-to-end recommender API,
 // cmd/experiments for the full evaluation harness, and bench_test.go for the

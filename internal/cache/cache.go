@@ -93,8 +93,28 @@ func fnv1a(key string) uint64 {
 	return h
 }
 
+// fnv1aBytes is fnv1a over a byte-slice key; kept as a separate copy so both
+// entry points stay inlinable (a generic or conversion-based version defeats
+// either inlining or the no-alloc guarantee).
+func fnv1aBytes(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 func (c *Cache[V]) shard(key string) *shard[V] {
 	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+func (c *Cache[V]) shardBytes(key []byte) *shard[V] {
+	return &c.shards[fnv1aBytes(key)&(shardCount-1)]
 }
 
 // Get returns the cached value for key, promoting it to most recently used.
@@ -102,6 +122,27 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	v := el.Value.(*entry[V]).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// GetBytes is Get for a key held in a (typically pooled) byte slice. The
+// conversion to string happens inside the map index expression, which the
+// compiler compiles to an allocation-free lookup — this is what makes cache
+// hits zero-allocation end to end. The key is not retained.
+func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
+	s := c.shardBytes(key)
+	s.mu.Lock()
+	el, ok := s.items[string(key)]
 	if !ok {
 		s.mu.Unlock()
 		c.misses.Add(1)

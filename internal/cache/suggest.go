@@ -49,25 +49,85 @@ func NewSuggestCache(capacity int) *SuggestCache {
 // Recommend answers context with up to n suggestions, consulting the cache
 // before delegating to rec.RecommendIDs. gen is the serving layer's model
 // generation: bump it on every hot reload so stale entries can never match.
+// Hits are allocation-free: the key is built in a pooled buffer and probed
+// with the cache's byte-key lookup, never materialised as a string.
 func (sc *SuggestCache) Recommend(gen uint64, rec *core.Recommender, context []string, n int) []core.Suggestion {
 	buf := sc.bufs.Get().(*suggestBuf)
-	defer func() {
-		buf.ctx = buf.ctx[:0]
-		buf.key = buf.key[:0]
-		sc.bufs.Put(buf)
-	}()
+	defer sc.putBuf(buf)
 	buf.ctx = rec.AppendContext(buf.ctx[:0], context)
 	if len(buf.ctx) == 0 {
 		return nil
 	}
-	buf.key = appendSuggestKey(buf.key[:0], gen, buf.ctx, n)
-	key := string(buf.key)
-	if v, ok := sc.lru.Get(key); ok {
+	return sc.recommendKeyed(gen, rec, buf, buf.ctx, n)
+}
+
+// RecommendInterned is Recommend for an already-interned context — the HTTP
+// fast path, which interns once per request and reuses the IDs for both the
+// cache key and the prediction.
+func (sc *SuggestCache) RecommendInterned(gen uint64, rec *core.Recommender, ctx query.Seq, n int) []core.Suggestion {
+	if len(ctx) == 0 {
+		return nil
+	}
+	buf := sc.bufs.Get().(*suggestBuf)
+	defer sc.putBuf(buf)
+	return sc.recommendKeyed(gen, rec, buf, ctx, n)
+}
+
+func (sc *SuggestCache) putBuf(buf *suggestBuf) {
+	buf.ctx = buf.ctx[:0]
+	buf.key = buf.key[:0]
+	sc.bufs.Put(buf)
+}
+
+// recommendKeyed runs the keyed lookup-or-compute. The key string is only
+// allocated on a miss, where it is retained by the LRU.
+func (sc *SuggestCache) recommendKeyed(gen uint64, rec *core.Recommender, buf *suggestBuf, ctx query.Seq, n int) []core.Suggestion {
+	buf.key = appendSuggestKey(buf.key[:0], gen, ctx, n)
+	if v, ok := sc.lru.GetBytes(buf.key); ok {
 		return v
 	}
-	out := rec.RecommendIDs(buf.ctx, n)
-	sc.lru.Put(key, out)
+	out := rec.RecommendIDs(ctx, n)
+	sc.lru.Put(string(buf.key), out)
 	return out
+}
+
+// RecommendBatch answers every (contexts[i], ns[i]) pair into out[i] (which
+// must be len(contexts) long). Hits and empty contexts are resolved from the
+// cache exactly like Recommend; all misses are then scored through one
+// shared-scratch batched trie descent (core.RecommendBatchIDs) and inserted.
+func (sc *SuggestCache) RecommendBatch(gen uint64, rec *core.Recommender, contexts [][]string, ns []int, out [][]core.Suggestion) {
+	buf := sc.bufs.Get().(*suggestBuf)
+	defer sc.putBuf(buf)
+	var (
+		missCtx []query.Seq
+		missKey []string
+		missN   []int
+		missIdx []int
+	)
+	for i, context := range contexts {
+		out[i] = nil
+		buf.ctx = rec.AppendContext(buf.ctx[:0], context)
+		if len(buf.ctx) == 0 {
+			continue
+		}
+		buf.key = appendSuggestKey(buf.key[:0], gen, buf.ctx, ns[i])
+		if v, ok := sc.lru.GetBytes(buf.key); ok {
+			out[i] = v
+			continue
+		}
+		missCtx = append(missCtx, buf.ctx.Clone())
+		missKey = append(missKey, string(buf.key))
+		missN = append(missN, ns[i])
+		missIdx = append(missIdx, i)
+	}
+	if len(missCtx) == 0 {
+		return
+	}
+	res := rec.RecommendBatchIDs(missCtx, missN)
+	for j, i := range missIdx {
+		out[i] = res[j]
+		sc.lru.Put(missKey[j], res[j])
+	}
 }
 
 // appendSuggestKey encodes (gen, n, ctx) into dst: 8 bytes of generation,

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSuggestCacheHitZeroAllocs pins the satellite property: a warm cache
+// hit — key build, shard probe, LRU promotion — allocates nothing at all.
+func TestSuggestCacheHitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	rec := testRecommender(t)
+	sc := NewSuggestCache(128)
+	ctx := []string{"o2", "o2 mobile"}
+	sc.Recommend(1, rec, ctx, 5) // warm: populate entry + pool
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := sc.Recommend(1, rec, ctx, 5); len(got) == 0 {
+			t.Fatal("hit returned nothing")
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("cache hit allocates %.2f times per op, want 0", allocs)
+	}
+
+	ictx := rec.InternContext(ctx)
+	allocs = testing.AllocsPerRun(200, func() {
+		if got := sc.RecommendInterned(1, rec, ictx, 5); len(got) == 0 {
+			t.Fatal("interned hit returned nothing")
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("interned cache hit allocates %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestRecommendBatchEquivalence: the batched front must agree with the
+// single-context front on hits, misses, unknown and empty contexts, and its
+// entries must be shared with subsequent single lookups.
+func TestRecommendBatchEquivalence(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(128)
+	contexts := [][]string{
+		{"o2"},
+		{"o2", "o2 mobile"},
+		{"never seen"},
+		{},
+		{"o2"}, // duplicate of [0] with a different n
+	}
+	ns := []int{5, 1, 5, 5, 2}
+	out := make([][]core.Suggestion, len(contexts))
+	sc.RecommendBatch(1, rec, contexts, ns, out)
+	for i := range contexts {
+		want := rec.RecommendIDs(rec.InternContext(contexts[i]), ns[i])
+		if len(out[i]) != len(want) {
+			t.Fatalf("item %d: batch %d suggestions, direct %d", i, len(out[i]), len(want))
+		}
+		for j := range want {
+			if out[i][j] != want[j] {
+				t.Fatalf("item %d rank %d: %+v vs %+v", i, j, out[i][j], want[j])
+			}
+		}
+	}
+	// The batch populated the cache: single lookups must now hit.
+	st := sc.Stats()
+	sc.Recommend(1, rec, []string{"o2"}, 5)
+	if got := sc.Stats().Hits; got != st.Hits+1 {
+		t.Fatalf("single lookup after batch missed (hits %d -> %d)", st.Hits, got)
+	}
+	// And a second identical batch is all hits.
+	out2 := make([][]core.Suggestion, len(contexts))
+	before := sc.Stats().Misses
+	sc.RecommendBatch(1, rec, contexts, ns, out2)
+	if got := sc.Stats().Misses; got != before {
+		t.Fatalf("repeat batch missed (%d -> %d)", before, got)
+	}
+}

@@ -35,7 +35,9 @@ package compiled
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/markov"
 	"repro/internal/query"
@@ -82,6 +84,14 @@ type Model struct {
 	folCount    []uint64
 
 	scratch scratchPool
+
+	// Mmap backing (models returned by OpenMmap only): the full mapping the
+	// arrays alias, unmapped by Release or by the GC cleanup once the model
+	// becomes unreachable.
+	release     []byte
+	cleanup     runtime.Cleanup
+	releaseOnce sync.Once
+	releaseErr  error
 }
 
 // Compile flattens a trained mixture into its serving form. It fails — and

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package compiled
+
+import "os"
+
+const mmapSupported = false
+
+func mmapRange(*os.File, int64, int64) (window, mapping []byte, err error) {
+	return nil, nil, ErrMmapUnsupported
+}
+
+func munmapRange([]byte) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package compiled
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapRange maps [offset, offset+length) of f read-only. The kernel demands
+// a page-aligned file offset, so the mapping starts at the enclosing page
+// boundary; window is the caller's requested byte range inside it and
+// mapping is what munmapRange must eventually be handed.
+func mmapRange(f *os.File, offset, length int64) (window, mapping []byte, err error) {
+	page := int64(os.Getpagesize())
+	mapOff := offset &^ (page - 1)
+	delta := offset - mapOff
+	mapping, err = syscall.Mmap(int(f.Fd()), mapOff, int(delta+length), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mapping[delta : delta+length], mapping, nil
+}
+
+func munmapRange(mapping []byte) error {
+	if mapping == nil {
+		return nil
+	}
+	return syscall.Munmap(mapping)
+}

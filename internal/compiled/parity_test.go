@@ -94,6 +94,38 @@ func assertParity(t *testing.T, m *markov.MVMM, c *Model, ctxs []query.Seq, voca
 			}
 		}
 	}
+	assertBatchParity(t, c, ctxs, rng)
+}
+
+// assertBatchParity checks that the batched descent is bit-identical to
+// per-context Predict calls, across varying per-context n.
+func assertBatchParity(t *testing.T, c *Model, ctxs []query.Seq, rng *rand.Rand) {
+	t.Helper()
+	ns := make([]int, len(ctxs))
+	for i := range ns {
+		ns[i] = []int{1, 3, 5, 17}[rng.Intn(4)]
+	}
+	seen := make([]bool, len(ctxs))
+	c.PredictBatch(ctxs, ns, func(i int, preds []model.Prediction) {
+		if seen[i] {
+			t.Fatalf("batch emitted context %d twice", i)
+		}
+		seen[i] = true
+		want := c.Predict(ctxs[i], ns[i])
+		if len(want) != len(preds) {
+			t.Fatalf("ctx %v n=%d: batch %d predictions, single %d", ctxs[i], ns[i], len(preds), len(want))
+		}
+		for j := range want {
+			if want[j] != preds[j] { // bit-exact, not approximate
+				t.Fatalf("ctx %v n=%d rank %d: batch %v, single %v", ctxs[i], ns[i], j, preds[j], want[j])
+			}
+		}
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("batch never emitted context %d", i)
+		}
+	}
 }
 
 // TestCompiledParityRandomCorpora is the property test behind the compiled
@@ -287,5 +319,40 @@ func TestPredictZeroAllocs(t *testing.T) {
 	// scratch refill; tolerate that but nothing per-call.
 	if allocs > 0.05 {
 		t.Fatalf("steady-state predict allocates %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestPredictBatchZeroAllocs: the batched descent itself must not allocate —
+// all per-batch state (ordering, descent path, candidate scoring, output
+// buffer) lives in the pooled scratch.
+func TestPredictBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(29))
+	vocab := 40
+	sessions := randomCorpus(rng, vocab, 1000)
+	m := markov.NewMVMMFromEpsilons(sessions, []float64{0.0, 0.01, 0.05, 0.1}, vocab,
+		markov.MVMMOptions{TrainSample: 100, NewtonIters: 5})
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctxs := parityContexts(rng, sessions, vocab)
+	if len(ctxs) > 64 {
+		ctxs = ctxs[:64]
+	}
+	ns := make([]int, len(ctxs))
+	for i := range ns {
+		ns[i] = 5
+	}
+	sink := 0
+	emit := func(i int, preds []model.Prediction) { sink += len(preds) }
+	c.PredictBatch(ctxs, ns, emit) // warm the pool to steady state
+	allocs := testing.AllocsPerRun(100, func() {
+		c.PredictBatch(ctxs, ns, emit)
+	})
+	if allocs > 0.05 {
+		t.Fatalf("steady-state batch predict allocates %.2f times per op, want 0 (sink %d)", allocs, sink)
 	}
 }

@@ -25,6 +25,10 @@ type scratch struct {
 	cands    []uint32  // pooled candidate IDs (sorted, deduplicated)
 	scores   []float64 // candidate scores, parallel to cands
 	heap     []int32   // bounded top-N selection heap (candidate indices)
+
+	// Batch state (PredictBatch only).
+	sorter ctxSorter          // descent-order permutation of the batch
+	bpreds []model.Prediction // per-context output buffer, reused across emits
 }
 
 type scratchPool struct{ p sync.Pool }
@@ -44,6 +48,7 @@ func (c *Model) initScratch() {
 			cands:    make([]uint32, 0, 256),
 			scores:   make([]float64, 0, 256),
 			heap:     make([]int32, 0, 64),
+			bpreds:   make([]model.Prediction, 0, 16),
 		}
 	}
 }
@@ -93,13 +98,16 @@ func (c *Model) match(s *scratch, ctxLen int) bool {
 	var assigned uint64
 	full := ^uint64(0) >> (64 - uint(c.k))
 	for p := len(s.path); p >= 1 && assigned != full; p-- {
-		fresh := c.evidence[s.path[p-1]] &^ assigned
+		// Masking with full makes stray evidence bits >= k (possible only in
+		// a corrupted flat file) harmless instead of an index panic.
+		ev := c.evidence[s.path[p-1]] & full
+		fresh := ev &^ assigned
 		for fresh != 0 {
 			i := bits.TrailingZeros64(fresh)
 			fresh &= fresh - 1
 			s.matched[i] = int32(p)
 		}
-		assigned |= c.evidence[s.path[p-1]]
+		assigned |= ev
 	}
 	var sum float64
 	for i := 0; i < c.k; i++ {
@@ -147,7 +155,13 @@ func (c *Model) escapeFactor(s *scratch, l, ml int) float64 {
 // say about the context.
 func (c *Model) prepare(s *scratch, ctx query.Seq) bool {
 	c.descend(s, ctx)
-	if len(s.path) == 0 || !c.match(s, len(ctx)) {
+	return c.prepareMatched(s, len(ctx))
+}
+
+// prepareMatched is prepare after the descent: PredictBatch descends
+// incrementally (sharing path prefixes across the batch) and enters here.
+func (c *Model) prepareMatched(s *scratch, ctxLen int) bool {
+	if len(s.path) == 0 || !c.match(s, ctxLen) {
 		return false
 	}
 	s.distLen = s.distLen[:0]
@@ -160,7 +174,7 @@ func (c *Model) prepare(s *scratch, ctx query.Seq) bool {
 		// full context, multiplied innermost-first to mirror the interpreted
 		// recursion's association order.
 		prod := 1.0
-		for l := int(s.matched[i]) + 1; l <= len(ctx); l++ {
+		for l := int(s.matched[i]) + 1; l <= ctxLen; l++ {
 			prod = c.escapeFactor(s, l, c.maxLen[i]) * prod
 		}
 		s.chain[i] = prod
@@ -255,7 +269,15 @@ func (c *Model) AppendPredictions(dst []model.Prediction, ctx query.Seq, topN in
 	}
 	s := c.scratch.p.Get().(*scratch)
 	defer c.scratch.p.Put(s)
-	if !c.prepare(s, ctx) {
+	c.descend(s, ctx)
+	return c.appendRanked(s, dst, len(ctx), topN)
+}
+
+// appendRanked is the back half of AppendPredictions, entered with the
+// descent path already in s.path (PredictBatch shares descents and calls in
+// here directly): match, score the pooled candidates, select the top N.
+func (c *Model) appendRanked(s *scratch, dst []model.Prediction, ctxLen, topN int) []model.Prediction {
+	if !c.prepareMatched(s, ctxLen) {
 		return dst
 	}
 

@@ -13,8 +13,10 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -73,7 +75,33 @@ type Recommender struct {
 	comp  *compiled.Model // nil ⇒ interpreted fallback
 	stats session.Stats
 	cfg   Config
+	info  LoadInfo
+
+	// V003 mmap loads defer decoding the interpreted mixture (serving only
+	// needs the compiled form): Model() triggers mixLoad exactly once.
+	mixOnce sync.Once
+	mixLoad func() (*markov.MVMM, error)
+	mixErr  error
 }
+
+// Model-provenance modes reported by LoadInfo.
+const (
+	LoadModeTrained = "trained" // built in-process by TrainFrom*
+	LoadModeHeap    = "heap"    // decoded from a model file into the heap
+	LoadModeMmap    = "mmap"    // compiled form memory-mapped from a V003 file
+)
+
+// LoadInfo describes how the recommender's serving model materialised —
+// surfaced through /healthz and cmd/serve logs so cold-start behaviour is
+// observable in production.
+type LoadInfo struct {
+	Mode     string        // LoadModeTrained, LoadModeHeap or LoadModeMmap
+	Version  string        // save-format magic of the source file, "" if trained
+	Duration time.Duration // wall time of the Load/LoadPath call
+}
+
+// LoadInfo reports the provenance of the serving model.
+func (r *Recommender) LoadInfo() LoadInfo { return r.info }
 
 // predBufs pools prediction scratch for the zero-allocation serving path.
 var predBufs = sync.Pool{New: func() any {
@@ -110,7 +138,8 @@ func TrainFromAggregated(dict *query.Dict, agg []query.Session, cfg Config) *Rec
 		eps = markov.DefaultEpsilons()
 	}
 	mix := markov.NewMVMMFromEpsilons(agg, eps, dict.Len(), cfg.Mixture)
-	r := &Recommender{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg}
+	r := &Recommender{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg,
+		info: LoadInfo{Mode: LoadModeTrained}}
 	r.comp, _ = compiled.Compile(mix)
 	return r
 }
@@ -169,6 +198,33 @@ func (r *Recommender) AppendSuggestions(dst []Suggestion, ctx query.Seq, n int) 
 	return dst
 }
 
+// RecommendBatchIDs scores many interned contexts through one shared-scratch
+// batched trie descent (compiled.PredictBatch): contexts are grouped by
+// shared suffix so sibling lookups amortise cache-line loads, which is what
+// makes POST /suggest/batch cheaper than n single requests. Results align
+// 1:1 with ctxs; uncovered or empty contexts yield nil entries. Each non-nil
+// result slice is freshly allocated (callers cache them).
+func (r *Recommender) RecommendBatchIDs(ctxs []query.Seq, ns []int) [][]Suggestion {
+	out := make([][]Suggestion, len(ctxs))
+	if r.comp == nil { // interpreted fallback: no batched descent available
+		for i, ctx := range ctxs {
+			out[i] = r.RecommendIDs(ctx, ns[i])
+		}
+		return out
+	}
+	r.comp.PredictBatch(ctxs, ns, func(i int, preds []model.Prediction) {
+		if len(preds) == 0 {
+			return
+		}
+		ss := make([]Suggestion, len(preds))
+		for j, p := range preds {
+			ss[j] = Suggestion{Query: r.dict.String(p.Query), Score: p.Score}
+		}
+		out[i] = ss
+	})
+	return out
+}
+
 // Probability returns the model's estimate that the user's next query is q
 // given the context.
 func (r *Recommender) Probability(context []string, q string) float64 {
@@ -207,11 +263,49 @@ func (r *Recommender) AppendContext(dst query.Seq, context []string) query.Seq {
 	return dst
 }
 
+// AppendContextBytes is AppendContext for contexts held as raw byte slices —
+// the HTTP fast path, which percent-decodes query parameters into pooled
+// buffers and must not materialise strings to intern them.
+func (r *Recommender) AppendContextBytes(dst query.Seq, context [][]byte) query.Seq {
+	for _, q := range context {
+		if id, ok := r.dict.LookupBytes(q); ok {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
 // Dict exposes the query dictionary.
 func (r *Recommender) Dict() *query.Dict { return r.dict }
 
-// Model exposes the trained mixture (for evaluation and persistence).
-func (r *Recommender) Model() *markov.MVMM { return r.mix }
+// Model exposes the trained mixture (for evaluation and persistence). For
+// recommenders mmap-loaded through LoadPath the mixture is decoded lazily on
+// first call — cold starts that only serve never pay for it. Returns nil if
+// the deferred decode fails (the error surfaces through Save).
+func (r *Recommender) Model() *markov.MVMM {
+	if r.mixLoad != nil {
+		r.mixOnce.Do(func() {
+			m, err := r.mixLoad()
+			if err != nil {
+				r.mixErr = err
+				return
+			}
+			r.mix = m
+		})
+	}
+	return r.mix
+}
+
+// Close releases resources tied to the serving model — for V003 files loaded
+// through LoadPath it unmaps the compiled form (otherwise it is a no-op; the
+// GC would reclaim the mapping eventually regardless). The recommender must
+// not be used after Close.
+func (r *Recommender) Close() error {
+	if r.comp != nil {
+		return r.comp.Release()
+	}
+	return nil
+}
 
 // CompiledModel exposes the flat serving form, or nil when the recommender
 // fell back to the interpreted mixture.
@@ -221,12 +315,21 @@ func (r *Recommender) CompiledModel() *compiled.Model { return r.comp }
 func (r *Recommender) Stats() session.Stats { return r.stats }
 
 // Save-format magics. V001 files hold (dictionary, mixture); V002 appends a
-// third section with the compiled single-PST serving form so cold starts
-// skip recompilation. Load reads both.
+// third section with the varint-encoded compiled single-PST serving form so
+// cold starts skip recompilation; V003 stores the compiled form in the
+// mmap-able CPS3 flat layout at a page-aligned file offset so cold starts
+// skip decoding entirely (LoadPath maps it; the reader-based Load decodes it
+// into the heap). Load reads all three; Save writes V003.
 const (
 	saveMagicV1 = "QRECV001"
 	saveMagicV2 = "QRECV002"
+	saveMagicV3 = "QRECV003"
 )
+
+// compiledAlign is the file alignment of the V003 compiled blob. 4 KiB
+// covers every common page size; LoadPath additionally aligns the mapping
+// down to the runtime page boundary, so larger-page systems still work.
+const compiledAlign = 4096
 
 // writeSection emits one length-prefixed section so Load can hand each
 // decoder a bounded reader (decoders buffer internally and would otherwise
@@ -248,36 +351,119 @@ func writeSection(w io.Writer, name string, wt io.WriterTo) error {
 }
 
 // Save persists the recommender — dictionary, interpreted mixture (the build
-// artifact) and compiled serving form — in the V002 layout. A recommender
-// without a compiled model writes an empty third section; Load recompiles.
+// artifact) and compiled serving form — in the current V003 layout. A
+// recommender without a compiled model writes an empty compiled section;
+// Load recompiles.
 func (r *Recommender) Save(w io.Writer) error {
-	if _, err := io.WriteString(w, saveMagicV2); err != nil {
-		return err
-	}
-	if err := writeSection(w, "dictionary", r.dict); err != nil {
-		return err
-	}
-	if err := writeSection(w, "model", r.mix); err != nil {
-		return err
-	}
-	var comp io.WriterTo
-	if r.comp != nil {
-		comp = r.comp
-	}
-	return writeSection(w, "compiled model", comp)
+	return r.SaveAs(w, saveMagicV3)
 }
 
-// Load restores a recommender written by Save: the current V002 layout or
-// the legacy V001 layout (which lacks the compiled section — the serving
-// form is then compiled from the mixture on the spot).
+// SaveAs persists the recommender in a specific save-format version:
+// "QRECV003" (the Save default, mmap-able compiled section) or "QRECV002"
+// (varint compiled section, for files older deployments must read). It
+// exists for compatibility tooling and tests.
+func (r *Recommender) SaveAs(w io.Writer, version string) error {
+	mix := r.Model()
+	if mix == nil {
+		return fmt.Errorf("core: mixture unavailable for save: %w", r.mixErr)
+	}
+	switch version {
+	case saveMagicV2:
+		if _, err := io.WriteString(w, saveMagicV2); err != nil {
+			return err
+		}
+		if err := writeSection(w, "dictionary", r.dict); err != nil {
+			return err
+		}
+		if err := writeSection(w, "model", mix); err != nil {
+			return err
+		}
+		var comp io.WriterTo
+		if r.comp != nil {
+			comp = r.comp
+		}
+		return writeSection(w, "compiled model", comp)
+	case saveMagicV3:
+		return r.saveV3(w, mix)
+	default:
+		return fmt.Errorf("core: unknown save version %q", version)
+	}
+}
+
+// countWriter tracks the file offset so saveV3 can pad the compiled blob to
+// a page boundary.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// saveV3 writes the V003 layout: magic, dictionary and mixture sections as
+// in V002, then the compiled model as a CPS3 flat blob padded to start on a
+// compiledAlign boundary — the precondition for LoadPath's zero-copy mmap.
+// The blob is framed as (uint64 pad length, pad, uint64 blob length, blob).
+func (r *Recommender) saveV3(w io.Writer, mix *markov.MVMM) error {
+	cw := &countWriter{w: w}
+	if _, err := io.WriteString(cw, saveMagicV3); err != nil {
+		return err
+	}
+	if err := writeSection(cw, "dictionary", r.dict); err != nil {
+		return err
+	}
+	if err := writeSection(cw, "model", mix); err != nil {
+		return err
+	}
+	var blob []byte
+	if r.comp != nil {
+		blob = r.comp.AppendFlat(nil)
+	}
+	pad := int((compiledAlign - (cw.n+16)%compiledAlign) % compiledAlign)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(pad))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if pad > 0 {
+		if _, err := cw.Write(make([]byte, pad)); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(blob)))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := cw.Write(blob)
+	return err
+}
+
+// Load restores a recommender written by Save from a stream: the current
+// V003 layout (compiled section decoded into the heap — use LoadPath for the
+// zero-copy mmap), the V002 layout, or the legacy V001 layout (which lacks
+// the compiled section — the serving form is then compiled from the mixture
+// on the spot).
 func Load(rd io.Reader) (*Recommender, error) {
+	start := time.Now()
+	r, version, err := load(rd)
+	if err != nil {
+		return nil, err
+	}
+	r.info = LoadInfo{Mode: LoadModeHeap, Version: version, Duration: time.Since(start)}
+	return r, nil
+}
+
+func load(rd io.Reader) (*Recommender, string, error) {
 	magic := make([]byte, len(saveMagicV1))
 	if _, err := io.ReadFull(rd, magic); err != nil {
-		return nil, fmt.Errorf("core: reading header: %w", err)
+		return nil, "", fmt.Errorf("core: reading header: %w", err)
 	}
 	version := string(magic)
-	if version != saveMagicV1 && version != saveMagicV2 {
-		return nil, fmt.Errorf("core: unrecognised model file header %q", magic)
+	if version != saveMagicV1 && version != saveMagicV2 && version != saveMagicV3 {
+		return nil, "", fmt.Errorf("core: unrecognised model file header %q", magic)
 	}
 	section := func(name string) (io.Reader, uint64, error) {
 		var hdr [8]byte
@@ -292,35 +478,191 @@ func Load(rd io.Reader) (*Recommender, error) {
 	}
 	ds, _, err := section("dictionary")
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	dict, err := query.ReadDict(ds)
 	if err != nil {
-		return nil, fmt.Errorf("core: loading dictionary: %w", err)
+		return nil, "", fmt.Errorf("core: loading dictionary: %w", err)
 	}
 	ms, _, err := section("model")
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	mix, err := markov.ReadMVMM(ms)
 	if err != nil {
-		return nil, fmt.Errorf("core: loading model: %w", err)
+		return nil, "", fmt.Errorf("core: loading model: %w", err)
 	}
 	r := &Recommender{dict: dict, mix: mix, cfg: DefaultConfig()}
-	if version == saveMagicV2 {
+	switch version {
+	case saveMagicV2:
 		cs, n, err := section("compiled model")
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if n > 0 {
 			comp, err := compiled.Read(cs)
 			if err != nil {
-				return nil, fmt.Errorf("core: loading compiled model: %w", err)
+				return nil, "", fmt.Errorf("core: loading compiled model: %w", err)
 			}
 			r.comp = comp
-			return r, nil
+			return r, version, nil
+		}
+	case saveMagicV3:
+		var hdr [8]byte
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return nil, "", fmt.Errorf("core: reading compiled padding header: %w", err)
+		}
+		pad := binary.LittleEndian.Uint64(hdr[:])
+		if pad >= compiledAlign {
+			return nil, "", fmt.Errorf("core: implausible compiled-section padding of %d bytes", pad)
+		}
+		if _, err := io.CopyN(io.Discard, rd, int64(pad)); err != nil {
+			return nil, "", fmt.Errorf("core: skipping compiled padding: %w", err)
+		}
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return nil, "", fmt.Errorf("core: reading compiled-section header: %w", err)
+		}
+		blobLen := binary.LittleEndian.Uint64(hdr[:])
+		if blobLen > 1<<40 {
+			return nil, "", fmt.Errorf("core: implausible compiled section of %d bytes", blobLen)
+		}
+		if blobLen > 0 {
+			blob := make([]byte, blobLen)
+			if _, err := io.ReadFull(rd, blob); err != nil {
+				return nil, "", fmt.Errorf("core: reading compiled section: %w", err)
+			}
+			comp, err := compiled.FromBytes(blob, compiled.ViewCopy)
+			if err != nil {
+				return nil, "", fmt.Errorf("core: loading compiled model: %w", err)
+			}
+			r.comp = comp
+			return r, version, nil
 		}
 	}
 	r.comp, _ = compiled.Compile(mix)
+	return r, version, nil
+}
+
+// LoadPath restores a recommender from a model file on disk, taking the
+// fastest load path the file allows. For V003 files the compiled serving
+// form is memory-mapped in place — a cold start costs the dictionary decode
+// plus O(1) mapping work, the kernel faults trie pages in lazily, and
+// concurrent server processes share one page-cache copy — and the
+// interpreted mixture is decoded lazily on first Model() use, so a process
+// that only serves never pays for it. V001/V002 files (and V003 files
+// without a compiled section, or platforms without mmap) fall back to the
+// reader-based heap Load. LoadInfo reports which path was taken.
+func LoadPath(path string) (*Recommender, error) {
+	start := time.Now()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// The descriptor is retained (not closed) on the successful V003 path:
+	// the lazy mixture load below reads through it, which pins the inode the
+	// compiled form was mapped from — a deploy replacing the file at this
+	// path must not make Model() decode a different file's bytes.
+	keepOpen := false
+	defer func() {
+		if !keepOpen {
+			f.Close()
+		}
+	}()
+	magic := make([]byte, len(saveMagicV3))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	if string(magic) != saveMagicV3 {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return Load(f)
+	}
+
+	readU64At := func(off int64, what string) (uint64, error) {
+		var hdr [8]byte
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, fmt.Errorf("core: reading %s: %w", what, err)
+		}
+		return binary.LittleEndian.Uint64(hdr[:]), nil
+	}
+
+	off := int64(len(saveMagicV3))
+	dictLen, err := readU64At(off, "dictionary header")
+	if err != nil {
+		return nil, err
+	}
+	if dictLen > 1<<40 {
+		return nil, fmt.Errorf("core: implausible dictionary section of %d bytes", dictLen)
+	}
+	dict, err := query.ReadDict(io.NewSectionReader(f, off+8, int64(dictLen)))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading dictionary: %w", err)
+	}
+	off += 8 + int64(dictLen)
+
+	mixLen, err := readU64At(off, "model header")
+	if err != nil {
+		return nil, err
+	}
+	if mixLen > 1<<40 {
+		return nil, fmt.Errorf("core: implausible model section of %d bytes", mixLen)
+	}
+	mixOff := off + 8
+	off += 8 + int64(mixLen)
+
+	pad, err := readU64At(off, "compiled padding header")
+	if err != nil {
+		return nil, err
+	}
+	if pad >= compiledAlign {
+		return nil, fmt.Errorf("core: implausible compiled-section padding of %d bytes", pad)
+	}
+	blobLen, err := readU64At(off+8+int64(pad), "compiled-section header")
+	if err != nil {
+		return nil, err
+	}
+	blobOff := off + 16 + int64(pad)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if blobLen > 1<<40 || blobOff+int64(blobLen) > fi.Size() {
+		return nil, fmt.Errorf("core: compiled section of %d bytes at offset %d overruns the %d-byte file",
+			blobLen, blobOff, fi.Size())
+	}
+	if blobLen == 0 {
+		// No compiled section: recompiling needs the mixture — heap Load.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return Load(f)
+	}
+
+	mode := LoadModeMmap
+	comp, err := compiled.OpenMmap(path, blobOff, int64(blobLen))
+	if errors.Is(err, compiled.ErrMmapUnsupported) {
+		mode = LoadModeHeap
+		blob := make([]byte, blobLen)
+		if _, rerr := f.ReadAt(blob, blobOff); rerr != nil {
+			return nil, fmt.Errorf("core: reading compiled section: %w", rerr)
+		}
+		comp, err = compiled.FromBytes(blob, compiled.ViewCopy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: loading compiled model: %w", err)
+	}
+
+	r := &Recommender{dict: dict, comp: comp, cfg: DefaultConfig()}
+	r.mixLoad = func() (*markov.MVMM, error) {
+		defer f.Close() // runs at most once, under the Model() sync.Once
+		mix, err := markov.ReadMVMM(io.NewSectionReader(f, mixOff, int64(mixLen)))
+		if err != nil {
+			return nil, fmt.Errorf("core: lazily loading mixture: %w", err)
+		}
+		return mix, nil
+	}
+	keepOpen = true
+	r.info = LoadInfo{Mode: mode, Version: saveMagicV3, Duration: time.Since(start)}
 	return r, nil
 }

@@ -220,7 +220,7 @@ func writeV1(t *testing.T, rec *Recommender) []byte {
 	return buf.Bytes()
 }
 
-func TestSaveWritesV2WithCompiledSection(t *testing.T) {
+func TestSaveAsWritesV2WithCompiledSection(t *testing.T) {
 	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +229,7 @@ func TestSaveWritesV2WithCompiledSection(t *testing.T) {
 		t.Fatal("training did not compile the mixture")
 	}
 	var buf bytes.Buffer
-	if err := rec.Save(&buf); err != nil {
+	if err := rec.SaveAs(&buf, saveMagicV2); err != nil {
 		t.Fatal(err)
 	}
 	if got := buf.String()[:len(saveMagicV2)]; got != saveMagicV2 {

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiled"
+	"repro/internal/query"
+)
+
+func assertSameRecommendations(t *testing.T, label string, a, b *Recommender) {
+	t.Helper()
+	for _, ctx := range [][]string{
+		{"nokia n73"}, {"kidney stones"},
+		{"nokia n73", "nokia n73 themes"}, {"unknown", "nokia n73"},
+	} {
+		x, y := a.Recommend(ctx, 5), b.Recommend(ctx, 5)
+		if len(x) != len(y) {
+			t.Fatalf("%s: ctx %v: %d vs %d suggestions", label, ctx, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: ctx %v rank %d: %+v vs %+v", label, ctx, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+// TestSaveWritesV3AndLoadRestores: the default save format is V003 and the
+// reader-based Load restores it (heap decode of the flat compiled section).
+func TestSaveWritesV3AndLoadRestores(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String()[:len(saveMagicV3)]; got != saveMagicV3 {
+		t.Fatalf("header = %q, want %q", got, saveMagicV3)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CompiledModel() == nil {
+		t.Fatal("V003 load did not restore the compiled model")
+	}
+	if li := loaded.LoadInfo(); li.Mode != LoadModeHeap || li.Version != saveMagicV3 {
+		t.Fatalf("LoadInfo = %+v", li)
+	}
+	assertSameRecommendations(t, "stream", rec, loaded)
+}
+
+// TestV2ToV3RoundTrip: a model saved as V002, loaded, re-saved as V003 and
+// reloaded must keep serving identical recommendations — the format upgrade
+// path every existing model file will take.
+func TestV2ToV3RoundTrip(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := rec.SaveAs(&v2, saveMagicV2); err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := Load(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li := fromV2.LoadInfo(); li.Version != saveMagicV2 {
+		t.Fatalf("LoadInfo = %+v", li)
+	}
+	var v3 bytes.Buffer
+	if err := fromV2.Save(&v3); err != nil {
+		t.Fatal(err)
+	}
+	fromV3, err := Load(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecommendations(t, "v2", rec, fromV2)
+	assertSameRecommendations(t, "v2->v3", rec, fromV3)
+}
+
+// TestLoadPathMmap: LoadPath on a V003 file must take the mmap route, serve
+// identical recommendations, lazily expose the mixture, and survive Save.
+func TestLoadPathMmap(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	li := loaded.LoadInfo()
+	wantMode := LoadModeMmap
+	if _, merr := compiled.OpenMmap(path, 0, 1); merr == compiled.ErrMmapUnsupported {
+		wantMode = LoadModeHeap
+	}
+	if li.Mode != wantMode || li.Version != saveMagicV3 || li.Duration <= 0 {
+		t.Fatalf("LoadInfo = %+v, want mode %q", li, wantMode)
+	}
+	if loaded.CompiledModel() == nil {
+		t.Fatal("LoadPath did not produce a compiled model")
+	}
+	assertSameRecommendations(t, "mmap", rec, loaded)
+
+	// The mixture decodes lazily and matches the original.
+	mix := loaded.Model()
+	if mix == nil {
+		t.Fatal("lazy mixture load failed")
+	}
+	if got, want := len(mix.Components()), len(rec.Model().Components()); got != want {
+		t.Fatalf("lazy mixture has %d components, want %d", got, want)
+	}
+	// Saving a LoadPath'd recommender round-trips through the lazy mixture.
+	var buf bytes.Buffer
+	if err := loaded.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecommendations(t, "resave", rec, again)
+}
+
+// TestLoadPathFallsBackForOldVersions: V001 and V002 files load through the
+// heap path with correct provenance.
+func TestLoadPathFallsBackForOldVersions(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.bin")
+	if err := os.WriteFile(v1, writeV1(t, rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if err := rec.SaveAs(&v2buf, saveMagicV2); err != nil {
+		t.Fatal(err)
+	}
+	v2 := filepath.Join(dir, "v2.bin")
+	if err := os.WriteFile(v2, v2buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for path, version := range map[string]string{v1: saveMagicV1, v2: saveMagicV2} {
+		loaded, err := LoadPath(path)
+		if err != nil {
+			t.Fatalf("%s: %v", version, err)
+		}
+		if li := loaded.LoadInfo(); li.Mode != LoadModeHeap || li.Version != version {
+			t.Fatalf("%s: LoadInfo = %+v", version, li)
+		}
+		assertSameRecommendations(t, version, rec, loaded)
+	}
+}
+
+// TestLoadRejectsTruncatedV3: cutting a V003 file anywhere in the compiled
+// section must fail loudly on both load paths, never panic or SIGBUS.
+func TestLoadRejectsTruncatedV3(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+	for i, n := range []int{len(good) - 1, len(good) - 4097, len(good) - len(good)/4} {
+		if n <= len(saveMagicV3) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("stream load of %d/%d bytes went undetected", n, len(good))
+		}
+		path := filepath.Join(dir, "trunc"+string(rune('a'+i))+".bin")
+		if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPath(path); err == nil {
+			t.Fatalf("path load of %d/%d bytes went undetected", n, len(good))
+		}
+	}
+}
+
+// TestRecommendBatchIDsMatchesSingle: the batched core API must agree with
+// per-context RecommendIDs, including nil results for uncovered contexts.
+func TestRecommendBatchIDsMatchesSingle(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := []query.Seq{
+		rec.InternContext([]string{"nokia n73"}),
+		rec.InternContext([]string{"kidney stones"}),
+		nil, // empty context
+		rec.InternContext([]string{"nokia n73", "nokia n73 themes"}),
+	}
+	ns := []int{5, 3, 5, 1}
+	got := rec.RecommendBatchIDs(ctxs, ns)
+	if len(got) != len(ctxs) {
+		t.Fatalf("batch returned %d results for %d contexts", len(got), len(ctxs))
+	}
+	for i := range ctxs {
+		want := rec.RecommendIDs(ctxs[i], ns[i])
+		if len(got[i]) != len(want) {
+			t.Fatalf("ctx %d: batch %d suggestions, single %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("ctx %d rank %d: batch %+v, single %+v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+// TestLoadPathLazyMixturePinsInode: replacing the model file on disk after
+// LoadPath must not corrupt the lazy mixture load — Model() reads through
+// the retained descriptor, so it decodes the file the compiled form was
+// mapped from, not whatever now lives at the path.
+func TestLoadPathLazyMixturePinsInode(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	// A deploy replaces the file (rename-over semantics: the original inode
+	// stays alive for existing opens) before Model() is first called.
+	other := altModelBytes(t)
+	tmp := path + ".new"
+	if err := os.WriteFile(tmp, other, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	mix := loaded.Model()
+	if mix == nil {
+		t.Fatal("lazy mixture load failed after file replacement")
+	}
+	if got, want := len(mix.Components()), len(rec.Model().Components()); got != want {
+		t.Fatalf("lazy mixture has %d components, want %d (read the replacement file?)", got, want)
+	}
+	assertSameRecommendations(t, "pinned", rec, loaded)
+}
+
+// altModelBytes builds a structurally different model file to rename over
+// the original.
+func altModelBytes(t *testing.T) []byte {
+	t.Helper()
+	d := query.NewDict()
+	a, b := d.Intern("smtp"), d.Intern("pop3")
+	var sessions []query.Seq
+	for i := 0; i < 10; i++ {
+		sessions = append(sessions, query.Seq{a, b})
+	}
+	alt := TrainFromSessions(d, sessions, smallConfig())
+	var buf bytes.Buffer
+	if err := alt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -65,6 +65,41 @@ func (d *Dict) Lookup(q string) (ID, bool) {
 	return id, ok
 }
 
+// LookupBytes is Lookup for a query held in a byte slice. When the bytes are
+// already in normalised form (lower-case ASCII, single internal spaces — the
+// common case for real query traffic) the map is probed directly with Go's
+// allocation-free []byte-key lookup; anything else takes the string path so
+// normalisation semantics match Lookup exactly.
+func (d *Dict) LookupBytes(q []byte) (ID, bool) {
+	if !normalizedASCII(q) {
+		return d.Lookup(string(q))
+	}
+	d.mu.RLock()
+	id, ok := d.ids[string(q)] // conversion in the index expression: no alloc
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// normalizedASCII reports whether Normalize would return q unchanged without
+// needing Unicode case mapping: pure ASCII with no upper-case letters, no
+// non-space whitespace (\t \n \v \f \r — everything TrimSpace and Fields
+// treat as space), and no leading/trailing/doubled spaces. Non-ASCII bytes
+// fail the test (they could be part of an upper-case rune).
+func normalizedASCII(q []byte) bool {
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		switch {
+		case c >= 'A' && c <= 'Z', c >= 0x80, c >= '\t' && c <= '\r':
+			return false
+		case c == ' ':
+			if i == 0 || i == len(q)-1 || q[i-1] == ' ' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // String returns the query string for id, or "" if id is out of range.
 func (d *Dict) String(id ID) string {
 	d.mu.RLock()

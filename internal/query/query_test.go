@@ -255,3 +255,26 @@ func TestSeqCloneIndependence(t *testing.T) {
 		t.Fatal("Clone of nil should be nil")
 	}
 }
+
+// TestLookupBytesMatchesLookup: the byte-slice fast path must resolve every
+// input exactly like the string path, including ones needing normalisation
+// (upper case, exotic whitespace, Unicode) and ones that do not.
+func TestLookupBytesMatchesLookup(t *testing.T) {
+	d := NewDict()
+	d.Intern("kidney stones")
+	d.Intern("nokia n73")
+	d.Intern("héllo")
+	inputs := []string{
+		"kidney stones", "Kidney Stones", " kidney stones ", "kidney  stones",
+		"kidney\tstones", "kidney\vstones", "kidney\fstones",
+		"kidney stones\f", "\vkidney stones", "nokia n73", "HÉLLO", "héllo",
+		"unknown", "", " ", "a\x01b",
+	}
+	for _, in := range inputs {
+		wantID, wantOK := d.Lookup(in)
+		gotID, gotOK := d.LookupBytes([]byte(in))
+		if wantID != gotID || wantOK != gotOK {
+			t.Errorf("LookupBytes(%q) = (%v, %v), Lookup = (%v, %v)", in, gotID, gotOK, wantID, wantOK)
+		}
+	}
+}

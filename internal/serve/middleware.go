@@ -3,16 +3,27 @@ package serve
 import (
 	"net/http"
 	"runtime/debug"
+	"sync"
 	"time"
 )
 
 // statusWriter captures the response status so the instrumentation
-// middleware can count errors and log outcomes.
+// middleware can count errors and log outcomes. Writers are pooled and carry
+// the per-request instrumentation state, so a request adds no middleware
+// allocations: the deferred finish is a plain method call (open-coded by the
+// compiler), not a closure.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+
+	h      *Handler
+	method string
+	path   string
+	start  time.Time
 }
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	if !w.wrote {
@@ -37,32 +48,41 @@ func (w *statusWriter) status() int {
 	return w.code
 }
 
-// instrument wraps next with the serving middleware: request counting,
-// panic recovery (a handler bug answers 500 instead of killing the
-// connection and, under http.Server, the process's goroutine), error
-// counting, and optional request logging.
+// finish runs deferred around every request: it recovers panics (a handler
+// bug answers 500 instead of killing the connection and, under http.Server,
+// the process's goroutine), counts errors, logs, and recycles the writer.
+func (w *statusWriter) finish() {
+	h := w.h
+	if err := recover(); err != nil {
+		h.m.panics.Add(1)
+		if h.opts.Logger != nil {
+			h.opts.Logger.Printf("panic serving %s %s: %v\n%s", w.method, w.path, err, debug.Stack())
+		}
+		if !w.wrote {
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}
+	}
+	if w.status() >= 400 {
+		h.m.errors.Add(1)
+	}
+	if h.opts.Logger != nil {
+		h.opts.Logger.Printf("%s %s -> %d (%s)", w.method, w.path, w.status(), time.Since(w.start))
+	}
+	w.ResponseWriter = nil
+	w.h = nil
+	statusWriterPool.Put(w)
+}
+
+// instrument wraps next with the serving middleware: request counting, panic
+// recovery, error counting, and optional request logging.
 func (h *Handler) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h.m.requests.Add(1)
-		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
-		defer func() {
-			if err := recover(); err != nil {
-				h.m.panics.Add(1)
-				if h.opts.Logger != nil {
-					h.opts.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, err, debug.Stack())
-				}
-				if !sw.wrote {
-					http.Error(sw, "internal server error", http.StatusInternalServerError)
-				}
-			}
-			if sw.status() >= 400 {
-				h.m.errors.Add(1)
-			}
-			if h.opts.Logger != nil {
-				h.opts.Logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status(), time.Since(start))
-			}
-		}()
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter = w
+		sw.code, sw.wrote = 0, false
+		sw.h, sw.method, sw.path, sw.start = h, r.Method, r.URL.Path, time.Now()
+		defer sw.finish()
 		next.ServeHTTP(sw, r)
 	})
 }

@@ -23,13 +23,16 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/query"
 )
 
 // Suggestion is one recommendation in the JSON response.
@@ -39,7 +42,8 @@ type Suggestion struct {
 }
 
 // SuggestResponse is the /suggest payload and one element of the batch
-// response.
+// response. In a batch response TookMicros is the context's amortised share
+// of the batched descent (the whole batch is scored in one pass).
 type SuggestResponse struct {
 	Context     []string     `json:"context"`
 	Suggestions []Suggestion `json:"suggestions"`
@@ -69,6 +73,9 @@ type BatchResponse struct {
 // Health is the /healthz payload. Compiled reports whether requests are
 // served from the flat single-PST form (the expected state; false means the
 // interpreted-mixture fallback) and CompiledNodes its merged trie size.
+// LoadMode ("trained", "heap" or "mmap") and LoadMicros report how and how
+// fast the current model materialised, so cold-start behaviour is observable
+// in production.
 type Health struct {
 	Status        string `json:"status"`
 	KnownQueries  int    `json:"known_queries"`
@@ -76,6 +83,9 @@ type Health struct {
 	Generation    uint64 `json:"model_generation"`
 	Compiled      bool   `json:"compiled"`
 	CompiledNodes int    `json:"compiled_nodes,omitempty"`
+	LoadMode      string `json:"model_load_mode,omitempty"`
+	LoadVersion   string `json:"model_load_version,omitempty"`
+	LoadMicros    int64  `json:"model_load_us,omitempty"`
 }
 
 // ReloadResponse is the POST /reload payload.
@@ -135,7 +145,6 @@ type Handler struct {
 	opts     Options
 	state    atomic.Pointer[modelState]
 	cache    *cache.SuggestCache
-	mux      *http.ServeMux
 	chain    http.Handler
 	m        metrics
 	reloadMu sync.Mutex
@@ -147,17 +156,30 @@ func New(rec *core.Recommender, opts Options) *Handler {
 	h := &Handler{
 		opts:  opts.withDefaults(),
 		cache: cache.NewSuggestCache(opts.CacheCapacity),
-		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
 	h.state.Store(&modelState{rec: rec, gen: 1})
-	h.mux.HandleFunc("/suggest", h.suggest)
-	h.mux.HandleFunc("/suggest/batch", h.suggestBatch)
-	h.mux.HandleFunc("/healthz", h.health)
-	h.mux.HandleFunc("/metrics", h.metricsHandler)
-	h.mux.HandleFunc("/reload", h.reload)
-	h.chain = h.instrument(h.mux)
+	h.chain = h.instrument(http.HandlerFunc(h.route))
 	return h
+}
+
+// route dispatches by exact path. A switch instead of http.ServeMux keeps
+// the hot path free of the mux's per-request pattern-matching allocations.
+func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/suggest":
+		h.suggest(w, r)
+	case "/suggest/batch":
+		h.suggestBatch(w, r)
+	case "/healthz":
+		h.health(w, r)
+	case "/metrics":
+		h.metricsHandler(w, r)
+	case "/reload":
+		h.reload(w, r)
+	default:
+		http.NotFound(w, r)
+	}
 }
 
 // NewHandler wraps a trained recommender with default options. defaultN is
@@ -211,47 +233,170 @@ func (h *Handler) Reload() (uint64, error) {
 // model, +1 per successful reload).
 func (h *Handler) Generation() uint64 { return h.state.Load().gen }
 
+// reqScratch pools every per-request buffer of the hot /suggest path:
+// decoded q values (flat storage + per-value views), the interned context,
+// and the response body under construction.
+type reqScratch struct {
+	flat  []byte     // decoded q values, back to back
+	spans [][2]int32 // [start, end) of each q value within flat
+	raw   [][]byte   // views into flat, one per q value
+	ctx   query.Seq
+	body  []byte
+}
+
+var reqScratchPool = sync.Pool{New: func() any {
+	return &reqScratch{
+		flat:  make([]byte, 0, 256),
+		spans: make([][2]int32, 0, 8),
+		raw:   make([][]byte, 0, 8),
+		ctx:   make(query.Seq, 0, 8),
+		body:  make([]byte, 0, 1024),
+	}
+}}
+
+func putReqScratch(b *reqScratch) {
+	b.flat = b.flat[:0]
+	b.spans = b.spans[:0]
+	b.raw = b.raw[:0]
+	b.ctx = b.ctx[:0]
+	b.body = b.body[:0]
+	reqScratchPool.Put(b)
+}
+
+// parseSuggestQuery decodes the /suggest query string in place: q values are
+// percent-decoded into the pooled flat buffer (no strings are created) and n
+// is parsed from its raw substring. Malformed pairs are dropped, matching
+// url.ParseQuery, and badN reports an explicit out-of-range or non-numeric n
+// (a 400, as before).
+func (b *reqScratch) parseSuggestQuery(raw string, defaultN, maxN int) (n int, badN bool) {
+	n = defaultN
+	sawN := false
+	for len(raw) > 0 {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		key, val := seg, ""
+		if i := strings.IndexByte(seg, '='); i >= 0 {
+			key, val = seg[:i], seg[i+1:]
+		}
+		switch key {
+		case "q":
+			start := len(b.flat)
+			flat, ok := appendQueryUnescaped(b.flat, val)
+			if !ok {
+				continue // bad escape: drop the pair, like url.ParseQuery
+			}
+			b.flat = flat
+			b.spans = append(b.spans, [2]int32{int32(start), int32(len(b.flat))})
+		case "n":
+			if sawN { // first n wins, like url.Values.Get
+				continue
+			}
+			dec := val
+			if strings.ContainsAny(val, "%+") {
+				d, err := url.QueryUnescape(val)
+				if err != nil {
+					continue
+				}
+				dec = d
+			}
+			if dec == "" {
+				continue
+			}
+			sawN = true
+			v, err := strconv.Atoi(dec)
+			if err != nil || v < 1 || v > maxN {
+				return 0, true
+			}
+			n = v
+		}
+	}
+	// Materialise the per-value views only now: appending to flat may have
+	// reallocated it, so earlier subslices would dangle.
+	for _, sp := range b.spans {
+		b.raw = append(b.raw, b.flat[sp[0]:sp[1]])
+	}
+	return n, false
+}
+
+// appendQueryUnescaped appends the query-component unescaping of s ('+' is
+// space, %XX is a byte) to dst, reporting false on an invalid escape.
+func appendQueryUnescaped(dst []byte, s string) ([]byte, bool) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '+':
+			dst = append(dst, ' ')
+		case '%':
+			if i+2 >= len(s) {
+				return dst, false
+			}
+			hi, okHi := unhex(s[i+1])
+			lo, okLo := unhex(s[i+2])
+			if !okHi || !okLo {
+				return dst, false
+			}
+			dst = append(dst, hi<<4|lo)
+			i += 2
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst, true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// suggest is the zero-allocation single-context path: pooled parse buffers,
+// byte-level interning, an allocation-free cache hit, and an append-style
+// JSON encoder into a pooled body. Steady-state cache hits allocate nothing
+// in the handler itself.
 func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	q := r.URL.Query()
-	context := q["q"]
-	if len(context) == 0 {
+	b := reqScratchPool.Get().(*reqScratch)
+	defer putReqScratch(b)
+	n, badN := b.parseSuggestQuery(r.URL.RawQuery, h.opts.DefaultN, h.opts.MaxN)
+	if badN {
+		http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", h.opts.MaxN), http.StatusBadRequest)
+		return
+	}
+	if len(b.raw) == 0 {
 		http.Error(w, "missing q parameters (one per context query, oldest first)", http.StatusBadRequest)
 		return
 	}
-	n := h.opts.DefaultN
-	if raw := q.Get("n"); raw != "" {
-		v, err := strconv.Atoi(raw)
-		if err != nil || v < 1 || v > h.opts.MaxN {
-			http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", h.opts.MaxN), http.StatusBadRequest)
-			return
-		}
-		n = v
-	}
 	st := h.state.Load()
 	start := time.Now()
-	recs := h.cache.Recommend(st.gen, st.rec, context, n)
+	b.ctx = st.rec.AppendContextBytes(b.ctx[:0], b.raw)
+	var recs []core.Suggestion
+	if len(b.ctx) > 0 {
+		recs = h.cache.RecommendInterned(st.gen, st.rec, b.ctx, n)
+	}
 	took := time.Since(start).Microseconds()
 	h.m.suggests.Add(1)
 	h.m.lat.record(took)
-	writeJSON(w, http.StatusOK, h.suggestResponse(context, recs, took))
+	b.body = appendSuggestResponseBytes(b.body[:0], b.raw, recs, took)
+	setJSONContentType(w)
+	w.Write(b.body)
 }
 
-func (h *Handler) suggestResponse(context []string, recs []core.Suggestion, tookMicros int64) SuggestResponse {
-	resp := SuggestResponse{
-		Context:     context,
-		Suggestions: make([]Suggestion, len(recs)),
-		TookMicros:  tookMicros,
-	}
-	for i, s := range recs {
-		resp.Suggestions[i] = Suggestion{Query: s.Query, Score: s.Score}
-	}
-	return resp
-}
-
+// suggestBatch scores a whole batch through one shared-scratch batched trie
+// descent (cache misses only; hits come straight from the LRU) and encodes
+// the response with the pooled append encoder.
 func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -283,23 +428,60 @@ func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := h.state.Load()
-	resp := BatchResponse{Results: make([]SuggestResponse, len(req.Requests))}
-	batchStart := time.Now()
-	for i, item := range req.Requests {
+	bb := batchScratchPool.Get().(*batchScratch)
+	defer putBatchScratch(bb)
+	for _, item := range req.Requests {
 		n := item.N
 		if n == 0 {
 			n = h.opts.DefaultN
 		}
-		start := time.Now()
-		recs := h.cache.Recommend(st.gen, st.rec, item.Context, n)
-		took := time.Since(start).Microseconds()
-		h.m.lat.record(took)
-		resp.Results[i] = h.suggestResponse(item.Context, recs, took)
+		bb.ns = append(bb.ns, n)
+		bb.contexts = append(bb.contexts, item.Context)
+		bb.out = append(bb.out, nil)
 	}
-	resp.TookMicros = time.Since(batchStart).Microseconds()
+	batchStart := time.Now()
+	h.cache.RecommendBatch(st.gen, st.rec, bb.contexts, bb.ns, bb.out)
+	elapsed := time.Since(batchStart).Microseconds()
+	perCtx := elapsed / int64(len(req.Requests))
+	for range req.Requests {
+		h.m.lat.record(perCtx)
+	}
+	bb.body = append(bb.body[:0], `{"results":[`...)
+	for i := range bb.out {
+		if i > 0 {
+			bb.body = append(bb.body, ',')
+		}
+		bb.body = appendSuggestResponse(bb.body, req.Requests[i].Context, bb.out[i], perCtx)
+	}
+	bb.body = append(bb.body, `],"took_us":`...)
+	bb.body = strconv.AppendInt(bb.body, elapsed, 10)
+	bb.body = append(bb.body, '}')
 	h.m.batches.Add(1)
 	h.m.batchContexts.Add(uint64(len(req.Requests)))
-	writeJSON(w, http.StatusOK, resp)
+	setJSONContentType(w)
+	w.Write(bb.body)
+}
+
+// batchScratch pools the per-batch slices of suggestBatch.
+type batchScratch struct {
+	contexts [][]string
+	ns       []int
+	out      [][]core.Suggestion
+	body     []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{body: make([]byte, 0, 4096)}
+}}
+
+func putBatchScratch(bb *batchScratch) {
+	clear(bb.contexts) // do not retain request slices in the pool
+	clear(bb.out)
+	bb.contexts = bb.contexts[:0]
+	bb.ns = bb.ns[:0]
+	bb.out = bb.out[:0]
+	bb.body = bb.body[:0]
+	batchScratchPool.Put(bb)
 }
 
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
@@ -314,6 +496,10 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		resp.Compiled = true
 		resp.CompiledNodes = cm.Nodes()
 	}
+	li := st.rec.LoadInfo()
+	resp.LoadMode = li.Mode
+	resp.LoadVersion = li.Version
+	resp.LoadMicros = li.Duration.Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
