@@ -4,14 +4,16 @@
 GO ?= go
 
 # Serving-path benchmarks tracked across PRs in BENCH_serving.json.
-SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkPredictBatch64|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkPredictBatch64|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkCompiledBlobSize
 # Override for quick smoke runs: make bench-json BENCHTIME=10x
 BENCHTIME ?= 1s
 # Regression gates applied by cmd/benchjson after recording: the cached HTTP
-# serving path must stay within its allocation budget.
-BENCH_GATES = -gate BenchmarkServeHTTPCached=2
+# serving path and the quantised predict path must stay within their
+# allocation budgets, and the quantised CPS4 blob must stay >= 40% smaller
+# than the exact CPS3 blob on the benchmark model.
+BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkPredictQuantised=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6
 
-.PHONY: all build test race bench bench-json fmt fmt-check vet ci serve loadgen clean
+.PHONY: all build test race bench bench-json fmt fmt-check vet check-docs ci serve loadgen clean
 
 all: build test
 
@@ -48,7 +50,12 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: vet fmt-check build race bench
+# Documentation gate: every exported symbol in the serving-critical packages
+# must carry a doc comment (see cmd/doccheck).
+check-docs:
+	$(GO) run ./cmd/doccheck ./internal/compiled ./internal/core
+
+ci: vet fmt-check check-docs build race bench
 
 # Convenience: train a small model if absent, then serve it.
 model.bin:

@@ -452,6 +452,65 @@ func BenchmarkPredictCompiled(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictQuantised measures the compiled descent on the quantised
+// CPS4 form of the benchmark model — the latency cost (if any) of serving
+// fixed-point probabilities instead of float64. allocs/op must stay 0.
+func BenchmarkPredictQuantised(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	blob, err := cm.AppendFlat4(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qm, err := compiled.FromBytes(blob, compiled.ViewAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !qm.Quantised() {
+		b.Fatal("CPS4 load is not quantised")
+	}
+	buf := make([]model.Prediction, 0, 8)
+	for _, ctx := range ctxs { // warm the scratch pool to steady state
+		buf = qm.AppendPredictions(buf[:0], ctx, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = qm.AppendPredictions(buf[:0], ctxs[i%len(ctxs)], 5)
+	}
+}
+
+// BenchmarkCompiledBlobSize re-encodes the benchmark model in both flat
+// layouts and reports their byte sizes plus the CPS4/CPS3 ratio — the
+// Table VII serving-footprint numbers, tracked in BENCH_serving.json and
+// gated (the quantised blob must stay >= 40% smaller, i.e. ratio <= 0.6).
+func BenchmarkCompiledBlobSize(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	var cps3, cps4 int
+	for i := 0; i < b.N; i++ {
+		blob3 := cm.AppendFlat(nil)
+		blob4, err := cm.AppendFlat4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cps3, cps4 = len(blob3), len(blob4)
+	}
+	b.ReportMetric(float64(cps3), "cps3-bytes")
+	b.ReportMetric(float64(cps4), "cps4-bytes")
+	b.ReportMetric(float64(cps4)/float64(cps3), "cps4-over-cps3")
+}
+
 // BenchmarkProbCompiled measures the allocation-free mixture probability.
 func BenchmarkProbCompiled(b *testing.B) {
 	rec, _ := serveBenchSetup(b)
@@ -637,15 +696,15 @@ func BenchmarkPredictSequential64(b *testing.B) {
 // --- cold-start benchmarks ---------------------------------------------------
 
 var (
-	coldOnce       sync.Once
-	coldV2, coldV3 string
-	coldErr        error
+	coldOnce               sync.Once
+	coldV2, coldV3, coldV4 string
+	coldErr                error
 )
 
-// coldStartSetup persists the serving benchmark model once in both formats:
-// V002 (varint compiled section, heap decode) and V003 (flat compiled
-// section, mmap).
-func coldStartSetup(b *testing.B) (v2, v3 string) {
+// coldStartSetup persists the serving benchmark model once in all current
+// formats: V002 (varint compiled section, heap decode), V003 (exact flat
+// compiled section, mmap) and V004 (quantised flat compiled section, mmap).
+func coldStartSetup(b *testing.B) (v2, v3, v4 string) {
 	rec, _ := serveBenchSetup(b)
 	coldOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "repro-coldstart")
@@ -666,23 +725,28 @@ func coldStartSetup(b *testing.B) (v2, v3 string) {
 		}
 		coldV2 = filepath.Join(dir, "model-v2.bin")
 		coldV3 = filepath.Join(dir, "model-v3.bin")
+		coldV4 = filepath.Join(dir, "model-v4.bin")
 		if err := write(coldV2, "QRECV002"); err != nil {
 			coldErr = err
 			return
 		}
-		coldErr = write(coldV3, "QRECV003")
+		if err := write(coldV3, "QRECV003"); err != nil {
+			coldErr = err
+			return
+		}
+		coldErr = write(coldV4, "QRECV004")
 	})
 	if coldErr != nil {
 		b.Fatal(coldErr)
 	}
-	return coldV2, coldV3
+	return coldV2, coldV3, coldV4
 }
 
 // BenchmarkColdStartHeapV2 is the before side of the mmap comparison: a full
 // V002 load — dictionary, interpreted mixture, varint-decoded compiled
 // section — into freshly allocated heap structures.
 func BenchmarkColdStartHeapV2(b *testing.B) {
-	v2, _ := coldStartSetup(b)
+	v2, _, _ := coldStartSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec, err := core.LoadPath(v2)
@@ -699,7 +763,7 @@ func BenchmarkColdStartHeapV2(b *testing.B) {
 // decode plus an mmap of the compiled section; the mixture stays on disk
 // until first use and trie pages fault in lazily.
 func BenchmarkColdStartMmapV3(b *testing.B) {
-	_, v3 := coldStartSetup(b)
+	_, v3, _ := coldStartSetup(b)
 	if _, err := core.LoadPath(v3); err != nil {
 		b.Fatal(err)
 	}
@@ -714,6 +778,29 @@ func BenchmarkColdStartMmapV3(b *testing.B) {
 		}
 		// Release the mapping eagerly: thousands of live mappings would trip
 		// vm.max_map_count long before the GC ran any cleanups.
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartMmapV4 is the quantised variant: a V004 LoadPath maps
+// the roughly-half-size CPS4 blob — same O(1) mapping work as V003, smaller
+// resident ceiling once pages fault in.
+func BenchmarkColdStartMmapV4(b *testing.B) {
+	_, _, v4 := coldStartSetup(b)
+	if _, err := core.LoadPath(v4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := core.LoadPath(v4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cm := rec.CompiledModel(); cm == nil || !cm.Quantised() {
+			b.Fatal("no quantised compiled model")
+		}
 		if err := rec.Close(); err != nil {
 			b.Fatal(err)
 		}

@@ -11,12 +11,16 @@
 //
 // The -gate flag turns the run into a regression check: after recording,
 // `-gate BenchmarkServeHTTPCached=2` exits non-zero if that benchmark's
-// allocs/op exceeds the given ceiling. CI uses it to fail on serving-path
-// allocation regressions.
+// allocs/op exceeds the given ceiling, and
+// `-gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6` gates a
+// b.ReportMetric value instead (the part after the colon names the metric
+// unit). CI uses both to fail on serving-path allocation regressions and on
+// quantised-blob size regressions.
 //
 // Usage:
 //
-//	go test -run=NONE -bench=. -benchmem . | benchjson -out BENCH_serving.json -gate BenchmarkServeHTTPCached=2
+//	go test -run=NONE -bench=. -benchmem . | benchjson -out BENCH_serving.json \
+//	    -gate BenchmarkServeHTTPCached=2 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6
 package main
 
 import (
@@ -191,20 +195,34 @@ func (o *Output) upsert(e Entry) {
 	o.Entries = append(o.Entries, e)
 }
 
-// applyGates enforces `Benchmark=maxAllocs` ceilings against the new entry.
+// applyGates enforces `Benchmark=maxAllocs` and `Benchmark:metric=max`
+// ceilings against the new entry.
 func applyGates(e Entry, gates []string) error {
 	for _, g := range gates {
 		name, limitStr, ok := strings.Cut(g, "=")
 		if !ok {
-			return fmt.Errorf("malformed -gate %q (want Benchmark=maxAllocs)", g)
+			return fmt.Errorf("malformed -gate %q (want Benchmark=maxAllocs or Benchmark:metric=max)", g)
 		}
 		limit, err := strconv.ParseFloat(limitStr, 64)
 		if err != nil {
 			return fmt.Errorf("malformed -gate limit %q: %v", limitStr, err)
 		}
+		name, metric, isMetric := strings.Cut(name, ":")
 		res, ok := e.Benchmarks[name]
 		if !ok {
 			return fmt.Errorf("gate %s: benchmark missing from this run", name)
+		}
+		if isMetric {
+			val, ok := res.Metrics[metric]
+			if !ok {
+				return fmt.Errorf("gate %s: metric %q missing (benchmark must b.ReportMetric it)", name, metric)
+			}
+			if val > limit {
+				return fmt.Errorf("gate %s: %s = %g exceeds the %g ceiling — benchmark-metric regression",
+					name, metric, val, limit)
+			}
+			log.Printf("gate %s: %s = %g <= %g ok", name, metric, val, limit)
+			continue
 		}
 		if res.AllocsPerOp == nil {
 			return fmt.Errorf("gate %s: no allocs/op column (run with -benchmem)", name)

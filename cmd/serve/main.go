@@ -45,7 +45,8 @@ func loadModel(path string) (*core.Recommender, error) {
 		return nil, err
 	}
 	li := rec.LoadInfo()
-	log.Printf("model load: mode=%s version=%s took=%s", li.Mode, li.Version, li.Duration.Round(time.Microsecond))
+	log.Printf("model load: mode=%s version=%s blob=%s/%dB took=%s",
+		li.Mode, li.Version, li.Format, li.BlobBytes, li.Duration.Round(time.Microsecond))
 	return rec, nil
 }
 
@@ -81,10 +82,15 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if cm := rec.CompiledModel(); cm != nil {
-		// V003 model files mmap the compiled PST (see the "model load" line
-		// for mode and duration); V002 decode it; V001 compile during Load.
-		log.Printf("model loaded: %d known queries, compiled PST with %d nodes / %d followers (depth %d, %d components); listening on %s",
-			rec.Dict().Len(), cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components(), *addr)
+		// V003/V004 model files mmap the compiled PST (see the "model load"
+		// line for mode, blob format and duration); V002 decode it; V001
+		// compile during Load.
+		form := "exact"
+		if cm.Quantised() {
+			form = "quantised"
+		}
+		log.Printf("model loaded: %d known queries, %s compiled PST with %d nodes / %d followers (depth %d, %d components); listening on %s",
+			rec.Dict().Len(), form, cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components(), *addr)
 	} else {
 		log.Printf("model loaded: %d known queries, serving interpreted mixture (compile unavailable); listening on %s",
 			rec.Dict().Len(), *addr)

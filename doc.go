@@ -1,6 +1,10 @@
 // Package repro is a from-scratch Go reproduction of "Web Query
 // Recommendation via Sequential Query Prediction" (He, Jiang, Liao, Hoi,
-// Chang, Lim, Li — ICDE 2009).
+// Chang, Lim, Li — ICDE 2009), grown into a production-shaped serving
+// system. See ARCHITECTURE.md for the full paper-to-code map and the
+// on-disk format evolution.
+//
+// # The paper
 //
 // The library implements the paper's complete system: the search-log
 // substrate (synthetic generator + raw-record format), the session pipeline
@@ -8,40 +12,50 @@
 // three sequential prediction models (variable-length N-gram, VMM via
 // Prediction Suffix Trees, and the MVMM mixture contribution), the two
 // pair-wise baselines (Adjacency, Co-occurrence), the evaluation stack
-// (NDCG, coverage, entropy, log-loss, simulated user study), and a benchmark
-// harness regenerating every table and figure of the paper's evaluation
-// section.
+// (NDCG, coverage, entropy, log-loss, simulated user study), and a
+// benchmark harness regenerating every table and figure of the paper's
+// evaluation section (internal/experiments, cmd/experiments).
 //
-// The serving layer turns the paper's "suitable for real-time query
-// recommendation" conclusion into a production-shaped subsystem:
+// # Build phase versus serve phase
+//
+// Training produces the interpreted map-based MVMM (internal/markov) — the
+// mutable build artifact that evaluation code walks and files persist.
+// Before serving, internal/compiled flattens the whole mixture into a
+// single merged Prediction Suffix Tree in CSR arrays (the paper's Table VII
+// single-PST deployment note): per-node component bitmasks, escape-chain
+// counts and precomputed smoothed probabilities. One trie descent per
+// request, zero steady-state allocations, and predictions a seeded property
+// test holds to the interpreted mixture's — identical IDs and order, scores
+// within 1e-12. PredictBatch extends the same engine to whole batches,
+// sharing descent work across reversed-sorted sibling contexts.
+//
+// # Persistent formats
+//
+// The compiled form has two mmap-able persistent encodings. CPS3 (inside
+// QRECV003 model files) stores every CSR array as exact fixed-width
+// little-endian values at aligned offsets, so core.LoadPath maps the file
+// and slices the arrays out of the page cache — no decoding, lazy page-in,
+// read-only sharing across processes. CPS4 (inside QRECV004, the Save
+// default) keeps that contract but quantises follower probabilities to
+// fixed-point uint16 against per-node float32 steps and narrows every node
+// array to its needed width, shrinking the serving blob by roughly half at
+// a bounded (≤ ~2e-5 absolute) probability error; Table VII reports both
+// blob sizes. Platforms without mmap or little-endian layout decode the
+// same blobs portably; V001–V003 files still load, and SaveAs still writes
+// the exact V002/V003 forms.
+//
+// # Serving layer
+//
 // internal/serve exposes single and batch suggestion endpoints with
 // metrics, panic recovery and hot model reload; internal/cache fronts the
 // model with a sharded LRU keyed on interned context IDs; cmd/serve runs
 // the server with SIGHUP/POST-reload and graceful shutdown; cmd/loadgen
-// replays power-law synthetic traffic against it.
-//
-// The model itself is split into a build phase and a serve phase. Training
-// produces the interpreted map-based MVMM (internal/markov) — the mutable
-// build artifact that evaluation code walks and files persist. Before
-// serving, internal/compiled flattens the whole mixture into a single
-// merged Prediction Suffix Tree in CSR arrays (the paper's Table VII
-// single-PST deployment note), with per-node component bitmasks,
-// escape-chain counts and precomputed smoothed probabilities: one trie
-// descent per request, zero steady-state allocations, and predictions a
-// seeded property test holds to the interpreted mixture's — identical IDs
-// and order, scores within 1e-12. PredictBatch extends the same engine to
-// whole batches: contexts are sorted by their reversed form so sibling
-// contexts share descent work, and in-batch duplicates are scored once.
-//
-// The compiled form also has an mmap-able persistent encoding (CPS3): every
-// CSR array stored as fixed-width little-endian values at aligned offsets,
-// so a V003 model file is loaded by mapping it — core.LoadPath slices the
-// arrays straight out of the page cache with no decoding, no
-// model-proportional allocation, lazy page-in, and read-only sharing across
-// server processes. Platforms without mmap or little-endian layout decode
-// the same blob portably; V001/V002 files still load and recompile.
+// replays power-law synthetic traffic against it. The /suggest hot path is
+// allocation-free end to end and CI gates it (make bench-json; cmd/benchjson
+// enforces allocation and blob-size regression ceilings recorded in
+// BENCH_serving.json).
 //
 // Entry points: internal/core for the end-to-end recommender API,
-// cmd/experiments for the full evaluation harness, and bench_test.go for the
-// per-table/figure benchmarks. See README.md, DESIGN.md and EXPERIMENTS.md.
+// cmd/experiments for the full evaluation harness, and bench_test.go for
+// the per-table/figure benchmarks. See README.md and ARCHITECTURE.md.
 package repro

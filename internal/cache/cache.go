@@ -6,6 +6,19 @@
 //
 // The generic Cache[V] is the mechanism; SuggestCache is the policy that
 // fronts core.Recommender.Recommend with interned-context keys.
+//
+// Invariants the serving layer relies on:
+//
+//   - Keys embed the model generation (and suggestion count), so a hot
+//     reload can never serve results computed against an old model; Purge
+//     on swap only releases memory early.
+//   - Cached suggestion slices are shared across callers and must be
+//     treated as immutable.
+//   - The hit path allocates nothing: GetBytes looks up by a pooled byte
+//     key without materialising a string, which is what keeps the cached
+//     /suggest path at 0 allocs/op.
+//   - Shards are independently locked; concurrent readers of different
+//     contexts never contend on one mutex.
 package cache
 
 import (

@@ -30,6 +30,28 @@
 // numerically within 1e-12 of the interpreted mixture (the escape-chain and
 // scoring sums are re-associated) and rank-identical on non-degenerate ties;
 // the parity property test in this package enforces both.
+//
+// The compiled form has three persistent encodings, all little-endian:
+//
+//   - CPS1 (WriteTo/Read): a varint stream, compact but decoded node by
+//     node into heap slices.
+//   - CPS3 (AppendFlat/FromBytes/OpenMmap): exact fixed-width arrays at
+//     8-byte-aligned offsets — mmap-able, aliased zero-copy on
+//     little-endian platforms, decoded portably (no unsafe) elsewhere.
+//   - CPS4 (AppendFlat4/FromBytes/OpenMmap): the quantised flat layout —
+//     follower probabilities as fixed-point uint16 against per-node
+//     float32 steps, ranked views as uint16 indices, node arrays narrowed
+//     to their needed width. Roughly half the CPS3 size at a bounded
+//     (≤ qstep/2 per node, ≤ ~2e-5 absolute) probability error. Models
+//     loaded from CPS4 report Quantised() == true and cannot be
+//     re-encoded to the exact forms (raw counts are not stored).
+//
+// Serving invariants, whatever the source encoding: prediction is
+// allocation-free at steady state (pooled scratch, bounded top-N heap),
+// models are immutable and safe for unbounded concurrent readers, and a
+// corrupted flat blob loaded without its CRC check (the zero-copy path,
+// which must not fault every page in) can misrank but can never panic or
+// index out of bounds.
 package compiled
 
 import (
@@ -66,22 +88,44 @@ type Model struct {
 	childStart []int32
 	childKey   []uint32
 
-	// Per-node payload, indexed by node ID.
-	evidence []uint64  // bit i set ⇔ component i stores this state with followers
-	occ      []uint64  // Eq. (6) window occurrences |[·,s]| of the node's suffix
-	startOcc []uint64  // session-start occurrences |[e,s]|
-	floor    []float64 // smoothed probability of an unobserved follower
+	// Per-node payload, indexed by node ID. Exactly one representation is
+	// populated per array: the wide float64/uint64 slices for models built by
+	// Compile or loaded from CPS1/CPS3, or the narrow slices for models
+	// loaded from the quantised CPS4 layout (evidence16 when the component
+	// count fits 16 bits, occ32/startOcc32/floor32 always). The accessor
+	// methods (evidenceAt, occAt, startOccAt, floorAt) pick the live one.
+	evidence   []uint64  // bit i set ⇔ component i stores this state with followers
+	evidence16 []uint16  // CPS4 narrow form of evidence (k <= 16)
+	occ        []uint64  // Eq. (6) window occurrences |[·,s]| of the node's suffix
+	occ32      []uint32  // CPS4 narrow form of occ
+	startOcc   []uint64  // session-start occurrences |[e,s]|
+	startOcc32 []uint32  // CPS4 narrow form of startOcc
+	floor      []float64 // smoothed probability of an unobserved follower
+	floor32    []float32 // CPS4 narrow form of floor
 
 	// Followers, one CSR range per node. Ranked order is the frozen TopN
 	// ranking (count descending, ID ascending); sorted order is ID-ascending
 	// for binary-search probability lookups. folCount holds the raw counts in
 	// sorted order for serialisation and introspection.
+	//
+	// Exact models carry folIDRanked/folPRanked/folPSorted/folCount in
+	// float64/uint64. Quantised (CPS4-loaded) models instead carry folQSorted
+	// (fixed-point uint16 probabilities dequantised via the per-node qstep)
+	// and folRankIdx (the ranked view as uint16 indices into the node's
+	// ID-sorted range); raw counts are not preserved, so quantised models
+	// cannot be re-encoded to the exact CPS1/CPS3 layouts.
 	folStart    []int32
 	folIDRanked []uint32
 	folPRanked  []float64
 	folIDSorted []uint32
 	folPSorted  []float64
 	folCount    []uint64
+	folQSorted  []uint16
+	folRankIdx  []uint16
+	qstep       []float32 // per-node dequantisation step: p = qstep[v] * q
+
+	nodes     int  // node count including the root (len of the per-node arrays)
+	quantised bool // true ⇔ loaded from CPS4 (narrow arrays populated)
 
 	scratch scratchPool
 
@@ -332,6 +376,7 @@ func (c *Model) layout(nodes map[string]*nodeInfo) {
 		c.childStart[v] += c.childStart[v-1]
 	}
 
+	c.nodes = n
 	c.evidence = make([]uint64, n)
 	c.occ = make([]uint64, n)
 	c.startOcc = make([]uint64, n)
@@ -421,7 +466,12 @@ func (c *Model) appendFollowers(v int, ids []uint32, counts []uint64) {
 }
 
 // Name implements model.Predictor.
-func (c *Model) Name() string { return "MVMM (compiled)" }
+func (c *Model) Name() string {
+	if c.Quantised() {
+		return "MVMM (compiled, quantised)"
+	}
+	return "MVMM (compiled)"
+}
 
 // Components reports the number of mixture components baked in.
 func (c *Model) Components() int { return c.k }
@@ -434,7 +484,50 @@ func (c *Model) Depth() int { return c.depth }
 
 // Nodes reports the merged trie size excluding the root — the realised
 // version of the paper's Table VII single-PST deployment estimate.
-func (c *Model) Nodes() int { return len(c.evidence) - 1 }
+func (c *Model) Nodes() int { return c.nodes - 1 }
 
 // Followers reports the total follower entries across all nodes.
 func (c *Model) Followers() int { return len(c.folIDSorted) }
+
+// Exact reports whether the model carries the full float64 probabilities and
+// raw counts (models built by Compile or loaded from CPS1/CPS3). Only exact
+// models can be serialised to the CPS1 and CPS3 layouts; quantised models
+// must be re-encoded with AppendFlat4 or recompiled from the mixture.
+func (c *Model) Exact() bool { return !c.Quantised() }
+
+// Quantised reports whether follower probabilities are served from the
+// fixed-point CPS4 representation (bounded-error dequantisation) rather than
+// the exact float64 arrays.
+func (c *Model) Quantised() bool { return c.quantised }
+
+// Per-node accessors bridging the exact (wide) and quantised (narrow) array
+// representations; the nil check resolves to the populated one. The branch
+// predicts perfectly — a model is one or the other for its whole lifetime.
+
+func (c *Model) evidenceAt(v int32) uint64 {
+	if c.evidence != nil {
+		return c.evidence[v]
+	}
+	return uint64(c.evidence16[v])
+}
+
+func (c *Model) occAt(v int32) uint64 {
+	if c.occ != nil {
+		return c.occ[v]
+	}
+	return uint64(c.occ32[v])
+}
+
+func (c *Model) startOccAt(v int32) uint64 {
+	if c.startOcc != nil {
+		return c.startOcc[v]
+	}
+	return uint64(c.startOcc32[v])
+}
+
+func (c *Model) floorAt(v int32) float64 {
+	if c.floor != nil {
+		return c.floor[v]
+	}
+	return float64(c.floor32[v])
+}

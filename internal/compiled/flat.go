@@ -93,7 +93,7 @@ const (
 )
 
 func (c *Model) flatCounts() [flatArrayCount]int {
-	n := len(c.evidence)
+	n := c.nodes
 	f := len(c.folIDSorted)
 	return [flatArrayCount]int{
 		c.k, c.k, n + 1, len(c.childKey),
@@ -123,8 +123,14 @@ func (c *Model) FlatSize() int64 {
 // AppendFlat appends the model's CPS3 encoding to dst and returns the
 // extended slice. Callers that persist it for mmap loading must place the
 // blob at a page-aligned file offset (core.Save's V003 layout pads for
-// this); FromBytes itself only needs 8-byte alignment.
+// this); FromBytes itself only needs 8-byte alignment. CPS3 stores exact
+// float64 probabilities and raw counts, so the model must be exact; callers
+// holding a quantised model recompile from the mixture first (core.SaveAs
+// does this automatically).
 func (c *Model) AppendFlat(dst []byte) []byte {
+	if c.Quantised() {
+		panic("compiled: AppendFlat on a quantised model (CPS3 needs exact probabilities; recompile from the mixture)")
+	}
 	counts := c.flatCounts()
 	offs, total := flatLayout(counts)
 	base := len(dst)
@@ -198,9 +204,10 @@ func flatCorrupt(format string, args ...any) error {
 	return fmt.Errorf("%w: CPS3 %s", store.ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
-// FromBytes materialises a Model from a CPS3 blob produced by AppendFlat.
-// Corrupted or truncated blobs fail with an error wrapping store.ErrCorrupt;
-// they never panic.
+// FromBytes materialises a Model from a flat blob produced by AppendFlat
+// (CPS3, exact) or AppendFlat4 (CPS4, quantised); the leading magic selects
+// the decoder. Corrupted or truncated blobs fail with an error wrapping
+// store.ErrCorrupt; they never panic.
 func FromBytes(data []byte, mode ViewMode) (*Model, error) {
 	m, _, err := fromBytes(data, mode)
 	return m, err
@@ -209,6 +216,9 @@ func FromBytes(data []byte, mode ViewMode) (*Model, error) {
 // fromBytes additionally reports whether the returned model aliases data
 // (zero-copy view) rather than owning heap copies.
 func fromBytes(data []byte, mode ViewMode) (*Model, bool, error) {
+	if len(data) >= 4 && string(data[:4]) == quantMagic {
+		return fromBytes4(data, mode)
+	}
 	if len(data) < flatArraysStart {
 		return nil, false, flatCorrupt("blob of %d bytes is shorter than the header", len(data))
 	}
@@ -242,6 +252,7 @@ func fromBytes(data []byte, mode ViewMode) (*Model, bool, error) {
 	if fols > uint64(len(data)) { // each follower entry occupies >= 4 bytes
 		return nil, false, flatCorrupt("implausible follower count %d", fols)
 	}
+	c.nodes = n
 
 	want := [flatArrayCount]uint64{
 		uint64(c.k), uint64(c.k), uint64(n + 1), edges,
@@ -348,6 +359,22 @@ func (c *Model) validateStructure(edges, fols uint64) error {
 // Portable little-endian decoders: the unsafe-free path every platform can
 // take, and the only path on big-endian machines.
 
+func decodeU16(b []byte) []uint16 {
+	out := make([]uint16, len(b)/2)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return out
+}
+
+func decodeF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
 func decodeI32(b []byte) []int32 {
 	out := make([]int32, len(b)/4)
 	for i := range out {
@@ -380,7 +407,8 @@ func decodeF64(b []byte) []float64 {
 	return out
 }
 
-// OpenMmap memory-maps the CPS3 blob stored at [offset, offset+length) of
+// OpenMmap memory-maps the flat compiled blob (CPS3 or quantised CPS4 —
+// dispatched on the blob's own magic) stored at [offset, offset+length) of
 // the file at path and returns a Model whose arrays alias the mapping: the
 // zero-copy cold-start path. The mapping is released when the model is
 // garbage-collected, or eagerly via Release. Returns ErrMmapUnsupported on

@@ -133,14 +133,21 @@ func TestFlatRejectsCorruption(t *testing.T) {
 	}
 }
 
-// FuzzFromBytes drives the CPS3 decoder with arbitrary bytes: any input must
-// either decode or error — never panic.
+// FuzzFromBytes drives the CPS3 and CPS4 decoders with arbitrary bytes: any
+// input must either decode or error — never panic.
 func FuzzFromBytes(f *testing.F) {
 	c, _, _, _ := flatTestModel(f, 71)
 	good := c.AppendFlat(nil)
 	f.Add(good)
 	f.Add(good[:len(good)/2])
 	f.Add([]byte("CPS3 but nonsense"))
+	good4, err := c.AppendFlat4(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good4)
+	f.Add(good4[:len(good4)/2])
+	f.Add([]byte("CPS4 but nonsense"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, mode := range []ViewMode{ViewAuto, ViewCopy} {
 			m, err := FromBytes(data, mode)

@@ -100,7 +100,7 @@ func (c *Model) match(s *scratch, ctxLen int) bool {
 	for p := len(s.path); p >= 1 && assigned != full; p-- {
 		// Masking with full makes stray evidence bits >= k (possible only in
 		// a corrupted flat file) harmless instead of an index panic.
-		ev := c.evidence[s.path[p-1]] & full
+		ev := c.evidenceAt(s.path[p-1]) & full
 		fresh := ev &^ assigned
 		for fresh != 0 {
 			i := bits.TrailingZeros64(fresh)
@@ -138,11 +138,11 @@ func (c *Model) escapeFactor(s *scratch, l, ml int) float64 {
 		return 1
 	}
 	v := s.path[sl-1]
-	occ := c.occ[v]
+	occ := c.occAt(v)
 	if occ == 0 {
 		return 1
 	}
-	start := c.startOcc[v]
+	start := c.startOccAt(v)
 	if start == 0 {
 		return 1 / float64(occ+1)
 	}
@@ -197,6 +197,9 @@ func (c *Model) prepareMatched(s *scratch, ctxLen int) bool {
 
 // smoothedAt is Dist.SmoothedP on the compiled node: binary search the
 // ID-sorted followers, falling back to the node's precomputed uniform floor.
+// On quantised models the stored fixed-point value is dequantised through
+// the node's step — exact to the CPS4 encoding, within maxP(v)/65535 of the
+// float64 probability it encodes.
 func (c *Model) smoothedAt(v int32, q uint32) float64 {
 	lo, hi := c.folStart[v], c.folStart[v+1]
 	for lo < hi {
@@ -208,9 +211,12 @@ func (c *Model) smoothedAt(v int32, q uint32) float64 {
 		}
 	}
 	if lo < c.folStart[v+1] && c.folIDSorted[lo] == q {
-		return c.folPSorted[lo]
+		if c.folPSorted != nil {
+			return c.folPSorted[lo]
+		}
+		return float64(c.qstep[v]) * float64(c.folQSorted[lo])
 	}
-	return c.floor[v]
+	return c.floorAt(v)
 }
 
 // score computes the mixture score Σ_D w_D · P̂_D(q|ctx) for one candidate,
@@ -283,7 +289,10 @@ func (c *Model) appendRanked(s *scratch, dst []model.Prediction, ctxLen, topN in
 
 	// Candidate pool: the top 4·topN ranked followers of every distinct
 	// matched state (the interpreted Predict's TopN(topN*4) union), sorted
-	// and deduplicated in place.
+	// and deduplicated in place. Exact models store the ranked IDs directly;
+	// quantised models store the ranked view as indices into the node's
+	// ID-sorted range (clamped defensively — a corrupted CPS4 payload loaded
+	// without a CRC check may misrank but must not index out of bounds).
 	s.cands = s.cands[:0]
 	lim := int32(4 * topN)
 	for _, v := range s.distNode {
@@ -291,7 +300,17 @@ func (c *Model) appendRanked(s *scratch, dst []model.Prediction, ctxLen, topN in
 		if hi-lo > lim {
 			hi = lo + lim
 		}
-		s.cands = append(s.cands, c.folIDRanked[lo:hi]...)
+		if c.folIDRanked != nil {
+			s.cands = append(s.cands, c.folIDRanked[lo:hi]...)
+			continue
+		}
+		for j := lo; j < hi; j++ {
+			idx := c.folStart[v] + int32(c.folRankIdx[j])
+			if idx >= c.folStart[v+1] {
+				idx = lo
+			}
+			s.cands = append(s.cands, c.folIDSorted[idx])
+		}
 	}
 	if len(s.cands) == 0 {
 		return dst
@@ -381,7 +400,7 @@ func (c *Model) Covers(ctx query.Seq) bool {
 	defer c.scratch.p.Put(s)
 	c.descend(s, ctx)
 	for _, v := range s.path {
-		if c.evidence[v] != 0 {
+		if c.evidenceAt(v) != 0 {
 			return true
 		}
 	}

@@ -1,0 +1,325 @@
+package compiled
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+// quantTol is the asserted ceiling on quantisation error. The format bound
+// is qstep/2 ≤ 1/(2·65535) ≈ 7.7e-6 per node, and mixture weights and
+// escape chains multiply to ≤ 1, so scores and probabilities stay within
+// it; the ceiling leaves slack for float32 step rounding.
+const quantTol = 2e-5
+
+// mustQuantise round-trips an exact model through the CPS4 encoding in the
+// given view mode.
+func mustQuantise(t testing.TB, c *Model, mode ViewMode) *Model {
+	t.Helper()
+	blob, err := c.AppendFlat4(nil)
+	if err != nil {
+		t.Fatalf("AppendFlat4: %v", err)
+	}
+	if int64(len(blob)) != c.Flat4Size() {
+		t.Fatalf("Flat4Size = %d, blob is %d bytes", c.Flat4Size(), len(blob))
+	}
+	q, err := FromBytes(blob, mode)
+	if err != nil {
+		t.Fatalf("FromBytes(CPS4): %v", err)
+	}
+	if !q.Quantised() || q.Exact() {
+		t.Fatal("CPS4 load did not produce a quantised model")
+	}
+	return q
+}
+
+// assertQuantParity checks the quantised model against the exact one under
+// the CPS4 error contract: probabilities within quantTol, prediction lists
+// of identical length whose rank disagreements only involve candidates
+// whose exact scores are within 2·quantTol of each other (near-ties), and
+// identical coverage.
+func assertQuantParity(t *testing.T, exact, quant *Model, ctxs []query.Seq, vocab int, rng *rand.Rand) {
+	t.Helper()
+	for _, ctx := range ctxs {
+		for _, n := range []int{1, 5, 10} {
+			want := exact.Predict(ctx, n)
+			got := quant.Predict(ctx, n)
+			if len(want) != len(got) {
+				t.Fatalf("ctx %v n=%d: exact %d predictions, quantised %d", ctx, n, len(want), len(got))
+			}
+			for i := range want {
+				if got[i].Query != want[i].Query {
+					pw := exact.Prob(ctx, want[i].Query)
+					pg := exact.Prob(ctx, got[i].Query)
+					if diff := math.Abs(pw - pg); diff > 2*quantTol {
+						t.Fatalf("ctx %v n=%d rank %d: quantised ranked %d over %d but exact scores differ by %g (not a near-tie)",
+							ctx, n, i, got[i].Query, want[i].Query, diff)
+					}
+				}
+				if diff := math.Abs(got[i].Score - exact.Prob(ctx, got[i].Query)); diff > quantTol {
+					t.Fatalf("ctx %v n=%d rank %d: quantised score off by %g (> %g)", ctx, n, i, diff, quantTol)
+				}
+			}
+		}
+		if exact.Covers(ctx) != quant.Covers(ctx) {
+			t.Fatalf("ctx %v: coverage mismatch exact=%v quantised=%v", ctx, exact.Covers(ctx), quant.Covers(ctx))
+		}
+		for i := 0; i < 5; i++ {
+			q := query.ID(rng.Intn(vocab + 2))
+			pw, pg := exact.Prob(ctx, q), quant.Prob(ctx, q)
+			if diff := math.Abs(pw - pg); diff > quantTol {
+				t.Fatalf("ctx %v q=%d: prob diff %g (exact %v, quantised %v)", ctx, q, diff, pw, pg)
+			}
+		}
+	}
+}
+
+// TestQuantParityRandomCorpora is the CPS4 correctness property: across
+// seeded random corpora, the quantised model must stay within the bounded
+// error contract of the float64 path — top-10 rank agreement modulo
+// near-ties, probabilities within quantTol.
+func TestQuantParityRandomCorpora(t *testing.T) {
+	for seed := int64(101); seed <= 104; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := 20 + rng.Intn(60)
+		sessions := randomCorpus(rng, vocab, 300+rng.Intn(1200))
+		m := markov.NewMVMMFromEpsilons(sessions, []float64{0.0, 0.01, 0.05, 0.1}, vocab,
+			markov.MVMMOptions{TrainSample: 200, NewtonIters: 8})
+		c, err := Compile(m)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		ctxs := parityContexts(rng, sessions, vocab)
+		for _, mode := range []ViewMode{ViewAuto, ViewCopy} {
+			assertQuantParity(t, c, mustQuantise(t, c, mode), ctxs, vocab, rng)
+		}
+	}
+}
+
+// TestQuantRoundTripStable: view and copy loads of one blob must behave
+// bit-identically, and re-encoding a quantised model must reproduce the
+// blob byte for byte (the dequantisation tables are exact, so nothing
+// drifts across save/load generations).
+func TestQuantRoundTripStable(t *testing.T) {
+	c, sessions, vocab, rng := flatTestModel(t, 211)
+	blob, err := c.AppendFlat4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewed, err := FromBytes(blob, ViewAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := FromBytes(blob, ViewCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := parityContexts(rng, sessions, vocab)
+	assertBitIdentical(t, "view-vs-copy", viewed, copied, ctxs, vocab, rng)
+	re, err := copied.AppendFlat4(nil)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(blob, re) {
+		t.Fatal("CPS4 re-encode of a quantised model is not byte-identical")
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteFlat4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), blob) {
+		t.Fatal("WriteFlat4 and AppendFlat4 diverge")
+	}
+}
+
+// TestQuantBatchParity: the batched descent must be bit-identical to single
+// Predict calls on a quantised model too (shared scratch, same arrays).
+func TestQuantBatchParity(t *testing.T) {
+	c, sessions, vocab, rng := flatTestModel(t, 223)
+	q := mustQuantise(t, c, ViewAuto)
+	assertBatchParity(t, q, parityContexts(rng, sessions, vocab), rng)
+	_ = vocab
+}
+
+// TestQuantSizeReduction: the quantised blob must be dramatically smaller
+// than the exact CPS3 blob — the reason CPS4 exists. The benchmark model's
+// ≥40% gate lives in BENCH_serving.json; the toy corpora here must already
+// clear 35%.
+func TestQuantSizeReduction(t *testing.T) {
+	for seed := int64(301); seed <= 303; seed++ {
+		c, _, _, _ := flatTestModel(t, seed)
+		cps3 := c.FlatSize()
+		cps4 := c.Flat4Size()
+		if ratio := float64(cps4) / float64(cps3); ratio > 0.65 {
+			t.Fatalf("seed %d: CPS4 %d bytes is %.1f%% of CPS3 %d bytes, want <= 65%%",
+				seed, cps4, 100*ratio, cps3)
+		}
+	}
+}
+
+// TestQuantWideWidths exercises the wide variants of the narrow arrays: a
+// mixture with more than 16 components keeps uint64 evidence masks, and
+// session counts above 2^32 keep uint64 occurrence arrays.
+func TestQuantWideWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	vocab := 25
+	sessions := randomCorpus(rng, vocab, 400)
+	eps := make([]float64, 18)
+	for i := range eps {
+		eps[i] = float64(i) * 0.005
+	}
+	m := markov.NewMVMMFromEpsilons(sessions, eps, vocab,
+		markov.MVMMOptions{TrainSample: 100, NewtonIters: 4})
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evW, _ := c.quantWidths(); evW != 8 {
+		t.Fatalf("evidence width %d for %d components, want 8", evW, c.Components())
+	}
+	q := mustQuantise(t, c, ViewCopy)
+	assertQuantParity(t, c, q, parityContexts(rng, sessions, vocab)[:80], vocab, rng)
+
+	// Huge session counts force 8-byte occurrence arrays.
+	big := []query.Session{
+		{Queries: query.Seq{1, 2}, Count: 1 << 33},
+		{Queries: query.Seq{1, 3}, Count: 7},
+		{Queries: query.Seq{2, 3, 4}, Count: 1 << 34},
+	}
+	mb := markov.NewMVMMFromEpsilons(big, []float64{0.0, 0.05}, 6, markov.MVMMOptions{NewtonIters: 3})
+	cb, err := Compile(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, occW := cb.quantWidths(); occW != 8 {
+		t.Fatalf("occurrence width %d for 2^34 counts, want 8", occW)
+	}
+	qb := mustQuantise(t, cb, ViewCopy)
+	assertQuantParity(t, cb, qb, []query.Seq{{1}, {2}, {1, 2}, {3, 2, 1}, {4, 5}}, 6, rng)
+}
+
+// TestAppendFlat4Unquantisable: a node with more followers than a 16-bit
+// rank index can address must fail with ErrUnquantisable and leave dst
+// untouched (len 0 here) — core.saveFlat keys its CPS3 fallback on that.
+func TestAppendFlat4Unquantisable(t *testing.T) {
+	const support = quantSteps + 1
+	c := &Model{
+		k: 1, vocab: support + 10, depth: 1, nodes: 2,
+		sigma: []float64{1}, maxLen: []int{0},
+		childStart: []int32{0, 1, 1}, childKey: []uint32{1},
+		evidence: []uint64{0, 1}, occ: []uint64{0, 0}, startOcc: []uint64{0, 0},
+		floor:    []float64{0, 1e-6},
+		folStart: []int32{0, 0, support},
+	}
+	c.folIDSorted = make([]uint32, support)
+	c.folIDRanked = make([]uint32, support)
+	c.folPSorted = make([]float64, support)
+	c.folCount = make([]uint64, support)
+	for i := range c.folIDSorted {
+		c.folIDSorted[i] = uint32(i)
+		c.folIDRanked[i] = uint32(i)
+		c.folPSorted[i] = 1.0 / support
+		c.folCount[i] = 1
+	}
+	blob, err := c.AppendFlat4(nil)
+	if !errors.Is(err, ErrUnquantisable) {
+		t.Fatalf("err = %v, want ErrUnquantisable", err)
+	}
+	if len(blob) != 0 {
+		t.Fatalf("failed AppendFlat4 returned %d bytes, want the untouched dst", len(blob))
+	}
+}
+
+// TestQuantRejectsCorruption mirrors the CPS3 robustness table: truncations
+// fail in both view modes, every byte flip fails the ViewCopy CRC, and
+// flips that survive ViewAuto's structural validation must never panic when
+// the model is exercised (defensive clamping in pooling and descent).
+func TestQuantRejectsCorruption(t *testing.T) {
+	c, sessions, vocab, rng := flatTestModel(t, 409)
+	good, err := c.AppendFlat4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{0, 3, flatHeaderSize - 1, quantArraysStart - 1, len(good) / 3, len(good) - 1} {
+		for _, mode := range []ViewMode{ViewAuto, ViewCopy} {
+			if _, err := FromBytes(good[:n], mode); err == nil {
+				t.Fatalf("truncation to %d bytes (mode %d) went undetected", n, mode)
+			}
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), good...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		if _, err := FromBytes(bad, ViewCopy); err == nil {
+			t.Fatalf("trial %d: corrupted blob passed ViewCopy", trial)
+		}
+	}
+
+	ctxs := parityContexts(rng, sessions, vocab)
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), good...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		m, err := FromBytes(bad, ViewAuto)
+		if err != nil {
+			continue
+		}
+		for _, ctx := range ctxs[:10] {
+			m.Predict(ctx, 5)
+			if len(ctx) > 0 {
+				m.Prob(ctx, ctx[len(ctx)-1])
+			}
+		}
+	}
+}
+
+// TestQuantisedCannotWriteExactForms: the exact CPS1/CPS3 encoders must
+// refuse a quantised model loudly (its raw counts are gone) instead of
+// writing garbage.
+func TestQuantisedCannotWriteExactForms(t *testing.T) {
+	c, _, _, _ := flatTestModel(t, 419)
+	q := mustQuantise(t, c, ViewCopy)
+	if _, err := q.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTo on a quantised model succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendFlat on a quantised model did not panic")
+		}
+	}()
+	q.AppendFlat(nil)
+}
+
+// TestQuantZeroAllocs: steady-state prediction on a quantised model must
+// stay allocation-free — the narrow arrays are read in place.
+func TestQuantZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	c, sessions, vocab, rng := flatTestModel(t, 421)
+	q := mustQuantise(t, c, ViewAuto)
+	ctxs := parityContexts(rng, sessions, vocab)
+	buf := make([]model.Prediction, 0, 32)
+	for _, ctx := range ctxs {
+		buf = q.AppendPredictions(buf[:0], ctx, 5)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		ctx := ctxs[i%len(ctxs)]
+		buf = q.AppendPredictions(buf[:0], ctx, 5)
+		if len(ctx) > 0 {
+			_ = q.Prob(ctx, ctx[len(ctx)-1])
+		}
+		i++
+	})
+	if allocs > 0.05 {
+		t.Fatalf("steady-state quantised predict allocates %.2f times per op, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package compiled
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -18,6 +19,9 @@ const magic = "CPS1"
 // from the raw counts through the same appendFollowers path Compile uses,
 // which keeps a reloaded model bit-identical to a freshly compiled one.
 func (c *Model) WriteTo(w io.Writer) (int64, error) {
+	if c.Quantised() {
+		return 0, errors.New("compiled: quantised model has no raw counts; CPS1 requires an exact model (recompile from the mixture)")
+	}
 	sw := store.NewWriter(w)
 	sw.Magic(magic)
 	sw.Int(c.k)
@@ -88,6 +92,7 @@ func Read(r io.Reader) (*Model, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: empty compiled trie", store.ErrCorrupt)
 	}
+	c.nodes = n
 	c.childStart = make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		c.childStart[v+1] = c.childStart[v] + int32(sr.Int())

@@ -16,6 +16,20 @@ func canZeroCopy(data []byte) bool {
 	return uintptr(unsafe.Pointer(unsafe.SliceData(data)))%8 == 0
 }
 
+func viewU16(b []byte) []uint16 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/2)
+}
+
+func viewF32(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
 func viewI32(b []byte) []int32 {
 	if len(b) == 0 {
 		return nil

@@ -10,6 +10,8 @@ func canZeroCopy([]byte) bool { return false }
 
 // The view functions are never reached when canZeroCopy is false.
 
+func viewU16([]byte) []uint16  { panic("compiled: zero-copy view on non-little-endian platform") }
+func viewF32([]byte) []float32 { panic("compiled: zero-copy view on non-little-endian platform") }
 func viewI32([]byte) []int32   { panic("compiled: zero-copy view on non-little-endian platform") }
 func viewU32([]byte) []uint32  { panic("compiled: zero-copy view on non-little-endian platform") }
 func viewU64([]byte) []uint64  { panic("compiled: zero-copy view on non-little-endian platform") }

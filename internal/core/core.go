@@ -8,6 +8,24 @@
 //
 //	rec, err := core.TrainFromLog(logFile, core.DefaultConfig())
 //	suggestions := rec.Recommend([]string{"nokia n73", "nokia n73 themes"}, 5)
+//
+// Persistence: Save writes the current QRECV004 container (dictionary,
+// interpreted mixture, and the quantised CPS4 compiled blob at a
+// page-aligned offset); SaveAs keeps the exact QRECV002/QRECV003 writers.
+// Load reads every version back to QRECV001. LoadPath is the production
+// cold-start route: for V003/V004 files it memory-maps the compiled blob
+// (no decoding, lazy page-in, cross-process page sharing) and defers the
+// interpreted-mixture decode until first Model() use; LoadInfo reports the
+// route taken, the blob encoding served and its byte length.
+//
+// Invariants: a Recommender is immutable after training or loading —
+// Recommend, RecommendIDs, RecommendBatchIDs and Probability are safe for
+// unbounded concurrent callers without locking, and the Append* variants
+// are allocation-free with recycled buffers. Serving goes through the
+// compiled single-PST form whenever it exists (always, for mixtures built
+// by this pipeline); quantised (CPS4-loaded) models serve with a bounded
+// ≤ ~2e-5 absolute probability error, and SaveAs transparently recompiles
+// from the mixture when an exact format is requested from one.
 package core
 
 import (
@@ -88,16 +106,18 @@ type Recommender struct {
 const (
 	LoadModeTrained = "trained" // built in-process by TrainFrom*
 	LoadModeHeap    = "heap"    // decoded from a model file into the heap
-	LoadModeMmap    = "mmap"    // compiled form memory-mapped from a V003 file
+	LoadModeMmap    = "mmap"    // compiled form memory-mapped from a V003/V004 file
 )
 
 // LoadInfo describes how the recommender's serving model materialised —
-// surfaced through /healthz and cmd/serve logs so cold-start behaviour is
-// observable in production.
+// surfaced through /healthz and cmd/serve logs so cold-start behaviour and
+// the served memory footprint are observable in production.
 type LoadInfo struct {
-	Mode     string        // LoadModeTrained, LoadModeHeap or LoadModeMmap
-	Version  string        // save-format magic of the source file, "" if trained
-	Duration time.Duration // wall time of the Load/LoadPath call
+	Mode      string        // LoadModeTrained, LoadModeHeap or LoadModeMmap
+	Version   string        // save-format magic of the source file, "" if trained
+	Format    string        // compiled-blob encoding served ("CPS1", "CPS3", "CPS4"); "" if compiled in-process
+	BlobBytes int64         // byte length of the compiled blob decoded or mapped; 0 if compiled in-process
+	Duration  time.Duration // wall time of the Load/LoadPath call
 }
 
 // LoadInfo reports the provenance of the serving model.
@@ -315,18 +335,25 @@ func (r *Recommender) CompiledModel() *compiled.Model { return r.comp }
 func (r *Recommender) Stats() session.Stats { return r.stats }
 
 // Save-format magics. V001 files hold (dictionary, mixture); V002 appends a
-// third section with the varint-encoded compiled single-PST serving form so
-// cold starts skip recompilation; V003 stores the compiled form in the
-// mmap-able CPS3 flat layout at a page-aligned file offset so cold starts
-// skip decoding entirely (LoadPath maps it; the reader-based Load decodes it
-// into the heap). Load reads all three; Save writes V003.
+// third section with the varint-encoded (CPS1) compiled single-PST serving
+// form so cold starts skip recompilation; V003 stores the compiled form in
+// the mmap-able CPS3 flat layout at a page-aligned file offset so cold
+// starts skip decoding entirely (LoadPath maps it; the reader-based Load
+// decodes it into the heap); V004 keeps the V003 framing but stores the
+// compiled form in the quantised CPS4 layout — fixed-point uint16 follower
+// probabilities against per-node float32 steps and width-narrowed node
+// arrays — which shrinks the served blob by roughly half at a bounded
+// (≤ ~2e-5 absolute) probability error. Load and LoadPath read all four;
+// Save writes V004. SaveAs keeps the exact V002/V003 writers for
+// deployments that need bit-exact serving or pre-V004 readers.
 const (
 	saveMagicV1 = "QRECV001"
 	saveMagicV2 = "QRECV002"
 	saveMagicV3 = "QRECV003"
+	saveMagicV4 = "QRECV004"
 )
 
-// compiledAlign is the file alignment of the V003 compiled blob. 4 KiB
+// compiledAlign is the file alignment of the V003/V004 compiled blob. 4 KiB
 // covers every common page size; LoadPath additionally aligns the mapping
 // down to the runtime page boundary, so larger-page systems still work.
 const compiledAlign = 4096
@@ -351,17 +378,33 @@ func writeSection(w io.Writer, name string, wt io.WriterTo) error {
 }
 
 // Save persists the recommender — dictionary, interpreted mixture (the build
-// artifact) and compiled serving form — in the current V003 layout. A
-// recommender without a compiled model writes an empty compiled section;
-// Load recompiles.
+// artifact) and compiled serving form — in the current V004 layout (the
+// quantised CPS4 compiled blob). A recommender without a compiled model
+// writes an empty compiled section; Load recompiles.
 func (r *Recommender) Save(w io.Writer) error {
-	return r.SaveAs(w, saveMagicV3)
+	return r.SaveAs(w, saveMagicV4)
+}
+
+// exactComp returns a compiled model carrying exact float64 probabilities,
+// as the CPS1 (V002) and CPS3 (V003) writers require: the served model when
+// it is exact, a recompilation of the interpreted mixture when the served
+// model was loaded from a quantised CPS4 blob (whose raw counts are gone).
+// Returns nil when no compiled form can be produced — the caller then
+// writes an empty compiled section and Load recompiles.
+func (r *Recommender) exactComp(mix *markov.MVMM) *compiled.Model {
+	if r.comp != nil && r.comp.Exact() {
+		return r.comp
+	}
+	comp, _ := compiled.Compile(mix)
+	return comp
 }
 
 // SaveAs persists the recommender in a specific save-format version:
-// "QRECV003" (the Save default, mmap-able compiled section) or "QRECV002"
-// (varint compiled section, for files older deployments must read). It
-// exists for compatibility tooling and tests.
+// "QRECV004" (the Save default, quantised mmap-able compiled section),
+// "QRECV003" (exact mmap-able compiled section) or "QRECV002" (varint
+// compiled section, for files older deployments must read). It exists for
+// compatibility tooling and for deployments that need the exact formats'
+// bit-identical serving.
 func (r *Recommender) SaveAs(w io.Writer, version string) error {
 	mix := r.Model()
 	if mix == nil {
@@ -379,19 +422,19 @@ func (r *Recommender) SaveAs(w io.Writer, version string) error {
 			return err
 		}
 		var comp io.WriterTo
-		if r.comp != nil {
-			comp = r.comp
+		if c := r.exactComp(mix); c != nil {
+			comp = c
 		}
 		return writeSection(w, "compiled model", comp)
-	case saveMagicV3:
-		return r.saveV3(w, mix)
+	case saveMagicV3, saveMagicV4:
+		return r.saveFlat(w, mix, version)
 	default:
 		return fmt.Errorf("core: unknown save version %q", version)
 	}
 }
 
-// countWriter tracks the file offset so saveV3 can pad the compiled blob to
-// a page boundary.
+// countWriter tracks the file offset so saveFlat can pad the compiled blob
+// to a page boundary.
 type countWriter struct {
 	w io.Writer
 	n int64
@@ -403,13 +446,18 @@ func (cw *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// saveV3 writes the V003 layout: magic, dictionary and mixture sections as
-// in V002, then the compiled model as a CPS3 flat blob padded to start on a
-// compiledAlign boundary — the precondition for LoadPath's zero-copy mmap.
-// The blob is framed as (uint64 pad length, pad, uint64 blob length, blob).
-func (r *Recommender) saveV3(w io.Writer, mix *markov.MVMM) error {
+// saveFlat writes the shared V003/V004 layout: magic, dictionary and
+// mixture sections as in V002, then the compiled model as a flat blob —
+// exact CPS3 under the V003 magic, quantised CPS4 under V004 — padded to
+// start on a compiledAlign boundary, the precondition for LoadPath's
+// zero-copy mmap. The blob is framed as (uint64 pad length, pad, uint64
+// blob length, blob). A V004 save of a model whose statistics do not fit
+// the quantised layout (see compiled.ErrUnquantisable) falls back to an
+// exact CPS3 blob in the same container; LoadPath dispatches on the blob's
+// own magic, so nothing downstream cares.
+func (r *Recommender) saveFlat(w io.Writer, mix *markov.MVMM, version string) error {
 	cw := &countWriter{w: w}
-	if _, err := io.WriteString(cw, saveMagicV3); err != nil {
+	if _, err := io.WriteString(cw, version); err != nil {
 		return err
 	}
 	if err := writeSection(cw, "dictionary", r.dict); err != nil {
@@ -419,8 +467,19 @@ func (r *Recommender) saveV3(w io.Writer, mix *markov.MVMM) error {
 		return err
 	}
 	var blob []byte
-	if r.comp != nil {
-		blob = r.comp.AppendFlat(nil)
+	if version == saveMagicV4 && r.comp != nil {
+		b4, err := r.comp.AppendFlat4(nil)
+		if err != nil && !errors.Is(err, compiled.ErrUnquantisable) {
+			return fmt.Errorf("core: quantising compiled model: %w", err)
+		}
+		if err == nil {
+			blob = b4
+		}
+	}
+	if len(blob) == 0 {
+		if c := r.exactComp(mix); c != nil {
+			blob = c.AppendFlat(nil)
+		}
 	}
 	pad := int((compiledAlign - (cw.n+16)%compiledAlign) % compiledAlign)
 	var hdr [8]byte
@@ -442,28 +501,34 @@ func (r *Recommender) saveV3(w io.Writer, mix *markov.MVMM) error {
 }
 
 // Load restores a recommender written by Save from a stream: the current
-// V003 layout (compiled section decoded into the heap — use LoadPath for the
-// zero-copy mmap), the V002 layout, or the legacy V001 layout (which lacks
-// the compiled section — the serving form is then compiled from the mixture
-// on the spot).
+// V004 layout (quantised compiled section decoded into the heap — use
+// LoadPath for the zero-copy mmap), the V003 layout, the V002 layout, or
+// the legacy V001 layout (which lacks the compiled section — the serving
+// form is then compiled from the mixture on the spot).
 func Load(rd io.Reader) (*Recommender, error) {
 	start := time.Now()
-	r, version, err := load(rd)
+	r, info, err := load(rd)
 	if err != nil {
 		return nil, err
 	}
-	r.info = LoadInfo{Mode: LoadModeHeap, Version: version, Duration: time.Since(start)}
+	info.Mode = LoadModeHeap
+	info.Duration = time.Since(start)
+	r.info = info
 	return r, nil
 }
 
-func load(rd io.Reader) (*Recommender, string, error) {
+func load(rd io.Reader) (*Recommender, LoadInfo, error) {
+	var info LoadInfo
 	magic := make([]byte, len(saveMagicV1))
 	if _, err := io.ReadFull(rd, magic); err != nil {
-		return nil, "", fmt.Errorf("core: reading header: %w", err)
+		return nil, info, fmt.Errorf("core: reading header: %w", err)
 	}
 	version := string(magic)
-	if version != saveMagicV1 && version != saveMagicV2 && version != saveMagicV3 {
-		return nil, "", fmt.Errorf("core: unrecognised model file header %q", magic)
+	info.Version = version
+	switch version {
+	case saveMagicV1, saveMagicV2, saveMagicV3, saveMagicV4:
+	default:
+		return nil, info, fmt.Errorf("core: unrecognised model file header %q", magic)
 	}
 	section := func(name string) (io.Reader, uint64, error) {
 		var hdr [8]byte
@@ -478,90 +543,104 @@ func load(rd io.Reader) (*Recommender, string, error) {
 	}
 	ds, _, err := section("dictionary")
 	if err != nil {
-		return nil, "", err
+		return nil, info, err
 	}
 	dict, err := query.ReadDict(ds)
 	if err != nil {
-		return nil, "", fmt.Errorf("core: loading dictionary: %w", err)
+		return nil, info, fmt.Errorf("core: loading dictionary: %w", err)
 	}
 	ms, _, err := section("model")
 	if err != nil {
-		return nil, "", err
+		return nil, info, err
 	}
 	mix, err := markov.ReadMVMM(ms)
 	if err != nil {
-		return nil, "", fmt.Errorf("core: loading model: %w", err)
+		return nil, info, fmt.Errorf("core: loading model: %w", err)
 	}
 	r := &Recommender{dict: dict, mix: mix, cfg: DefaultConfig()}
 	switch version {
 	case saveMagicV2:
 		cs, n, err := section("compiled model")
 		if err != nil {
-			return nil, "", err
+			return nil, info, err
 		}
 		if n > 0 {
 			comp, err := compiled.Read(cs)
 			if err != nil {
-				return nil, "", fmt.Errorf("core: loading compiled model: %w", err)
+				return nil, info, fmt.Errorf("core: loading compiled model: %w", err)
 			}
 			r.comp = comp
-			return r, version, nil
+			info.Format = "CPS1"
+			info.BlobBytes = int64(n)
+			return r, info, nil
 		}
-	case saveMagicV3:
+	case saveMagicV3, saveMagicV4:
 		var hdr [8]byte
 		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
-			return nil, "", fmt.Errorf("core: reading compiled padding header: %w", err)
+			return nil, info, fmt.Errorf("core: reading compiled padding header: %w", err)
 		}
 		pad := binary.LittleEndian.Uint64(hdr[:])
 		if pad >= compiledAlign {
-			return nil, "", fmt.Errorf("core: implausible compiled-section padding of %d bytes", pad)
+			return nil, info, fmt.Errorf("core: implausible compiled-section padding of %d bytes", pad)
 		}
 		if _, err := io.CopyN(io.Discard, rd, int64(pad)); err != nil {
-			return nil, "", fmt.Errorf("core: skipping compiled padding: %w", err)
+			return nil, info, fmt.Errorf("core: skipping compiled padding: %w", err)
 		}
 		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
-			return nil, "", fmt.Errorf("core: reading compiled-section header: %w", err)
+			return nil, info, fmt.Errorf("core: reading compiled-section header: %w", err)
 		}
 		blobLen := binary.LittleEndian.Uint64(hdr[:])
 		if blobLen > 1<<40 {
-			return nil, "", fmt.Errorf("core: implausible compiled section of %d bytes", blobLen)
+			return nil, info, fmt.Errorf("core: implausible compiled section of %d bytes", blobLen)
 		}
 		if blobLen > 0 {
 			blob := make([]byte, blobLen)
 			if _, err := io.ReadFull(rd, blob); err != nil {
-				return nil, "", fmt.Errorf("core: reading compiled section: %w", err)
+				return nil, info, fmt.Errorf("core: reading compiled section: %w", err)
 			}
 			comp, err := compiled.FromBytes(blob, compiled.ViewCopy)
 			if err != nil {
-				return nil, "", fmt.Errorf("core: loading compiled model: %w", err)
+				return nil, info, fmt.Errorf("core: loading compiled model: %w", err)
 			}
 			r.comp = comp
-			return r, version, nil
+			info.Format = blobFormat(blob)
+			info.BlobBytes = int64(blobLen)
+			return r, info, nil
 		}
 	}
 	r.comp, _ = compiled.Compile(mix)
-	return r, version, nil
+	return r, info, nil
+}
+
+// blobFormat reports a flat compiled blob's encoding by its leading magic.
+func blobFormat(blob []byte) string {
+	if len(blob) < 4 {
+		return ""
+	}
+	return string(blob[:4])
 }
 
 // LoadPath restores a recommender from a model file on disk, taking the
-// fastest load path the file allows. For V003 files the compiled serving
-// form is memory-mapped in place — a cold start costs the dictionary decode
-// plus O(1) mapping work, the kernel faults trie pages in lazily, and
-// concurrent server processes share one page-cache copy — and the
-// interpreted mixture is decoded lazily on first Model() use, so a process
-// that only serves never pays for it. V001/V002 files (and V003 files
-// without a compiled section, or platforms without mmap) fall back to the
-// reader-based heap Load. LoadInfo reports which path was taken.
+// fastest load path the file allows. For V003/V004 files the compiled
+// serving form is memory-mapped in place — a cold start costs the
+// dictionary decode plus O(1) mapping work, the kernel faults trie pages in
+// lazily, and concurrent server processes share one page-cache copy — and
+// the interpreted mixture is decoded lazily on first Model() use, so a
+// process that only serves never pays for it. V001/V002 files (and
+// V003/V004 files without a compiled section, or platforms without mmap)
+// fall back to the reader-based heap Load. LoadInfo reports which path was
+// taken, the blob encoding served (CPS3 or quantised CPS4) and its byte
+// length.
 func LoadPath(path string) (*Recommender, error) {
 	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	// The descriptor is retained (not closed) on the successful V003 path:
-	// the lazy mixture load below reads through it, which pins the inode the
-	// compiled form was mapped from — a deploy replacing the file at this
-	// path must not make Model() decode a different file's bytes.
+	// The descriptor is retained (not closed) on the successful V003/V004
+	// path: the lazy mixture load below reads through it, which pins the
+	// inode the compiled form was mapped from — a deploy replacing the file
+	// at this path must not make Model() decode a different file's bytes.
 	keepOpen := false
 	defer func() {
 		if !keepOpen {
@@ -572,7 +651,8 @@ func LoadPath(path string) (*Recommender, error) {
 	if _, err := io.ReadFull(f, magic); err != nil {
 		return nil, fmt.Errorf("core: reading header: %w", err)
 	}
-	if string(magic) != saveMagicV3 {
+	version := string(magic)
+	if version != saveMagicV3 && version != saveMagicV4 {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}
@@ -587,7 +667,7 @@ func LoadPath(path string) (*Recommender, error) {
 		return binary.LittleEndian.Uint64(hdr[:]), nil
 	}
 
-	off := int64(len(saveMagicV3))
+	off := int64(len(version))
 	dictLen, err := readU64At(off, "dictionary header")
 	if err != nil {
 		return nil, err
@@ -639,6 +719,11 @@ func LoadPath(path string) (*Recommender, error) {
 		return Load(f)
 	}
 
+	var blobMagic [4]byte
+	if _, err := f.ReadAt(blobMagic[:], blobOff); err != nil {
+		return nil, fmt.Errorf("core: reading compiled-blob magic: %w", err)
+	}
+
 	mode := LoadModeMmap
 	comp, err := compiled.OpenMmap(path, blobOff, int64(blobLen))
 	if errors.Is(err, compiled.ErrMmapUnsupported) {
@@ -663,6 +748,12 @@ func LoadPath(path string) (*Recommender, error) {
 		return mix, nil
 	}
 	keepOpen = true
-	r.info = LoadInfo{Mode: mode, Version: saveMagicV3, Duration: time.Since(start)}
+	r.info = LoadInfo{
+		Mode:      mode,
+		Version:   version,
+		Format:    blobFormat(blobMagic[:]),
+		BlobBytes: int64(blobLen),
+		Duration:  time.Since(start),
+	}
 	return r, nil
 }

@@ -29,15 +29,16 @@ func assertSameRecommendations(t *testing.T, label string, a, b *Recommender) {
 	}
 }
 
-// TestSaveWritesV3AndLoadRestores: the default save format is V003 and the
-// reader-based Load restores it (heap decode of the flat compiled section).
-func TestSaveWritesV3AndLoadRestores(t *testing.T) {
+// TestSaveAsV3AndLoadRestores: the exact V003 format remains writable
+// behind SaveAs and the reader-based Load restores it bit-identically (heap
+// decode of the flat compiled section).
+func TestSaveAsV3AndLoadRestores(t *testing.T) {
 	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := rec.Save(&buf); err != nil {
+	if err := rec.SaveAs(&buf, saveMagicV3); err != nil {
 		t.Fatal(err)
 	}
 	if got := buf.String()[:len(saveMagicV3)]; got != saveMagicV3 {
@@ -50,7 +51,8 @@ func TestSaveWritesV3AndLoadRestores(t *testing.T) {
 	if loaded.CompiledModel() == nil {
 		t.Fatal("V003 load did not restore the compiled model")
 	}
-	if li := loaded.LoadInfo(); li.Mode != LoadModeHeap || li.Version != saveMagicV3 {
+	if li := loaded.LoadInfo(); li.Mode != LoadModeHeap || li.Version != saveMagicV3 ||
+		li.Format != "CPS3" || li.BlobBytes <= 0 {
 		t.Fatalf("LoadInfo = %+v", li)
 	}
 	assertSameRecommendations(t, "stream", rec, loaded)
@@ -72,11 +74,11 @@ func TestV2ToV3RoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if li := fromV2.LoadInfo(); li.Version != saveMagicV2 {
+	if li := fromV2.LoadInfo(); li.Version != saveMagicV2 || li.Format != "CPS1" {
 		t.Fatalf("LoadInfo = %+v", li)
 	}
 	var v3 bytes.Buffer
-	if err := fromV2.Save(&v3); err != nil {
+	if err := fromV2.SaveAs(&v3, saveMagicV3); err != nil {
 		t.Fatal(err)
 	}
 	fromV3, err := Load(bytes.NewReader(v3.Bytes()))
@@ -99,7 +101,7 @@ func TestLoadPathMmap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rec.Save(f); err != nil {
+	if err := rec.SaveAs(f, saveMagicV3); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -116,7 +118,8 @@ func TestLoadPathMmap(t *testing.T) {
 	if _, merr := compiled.OpenMmap(path, 0, 1); merr == compiled.ErrMmapUnsupported {
 		wantMode = LoadModeHeap
 	}
-	if li.Mode != wantMode || li.Version != saveMagicV3 || li.Duration <= 0 {
+	if li.Mode != wantMode || li.Version != saveMagicV3 || li.Format != "CPS3" ||
+		li.BlobBytes <= 0 || li.Duration <= 0 {
 		t.Fatalf("LoadInfo = %+v, want mode %q", li, wantMode)
 	}
 	if loaded.CompiledModel() == nil {
@@ -134,7 +137,7 @@ func TestLoadPathMmap(t *testing.T) {
 	}
 	// Saving a LoadPath'd recommender round-trips through the lazy mixture.
 	var buf bytes.Buffer
-	if err := loaded.Save(&buf); err != nil {
+	if err := loaded.SaveAs(&buf, saveMagicV3); err != nil {
 		t.Fatal(err)
 	}
 	again, err := Load(bytes.NewReader(buf.Bytes()))
@@ -176,9 +179,10 @@ func TestLoadPathFallsBackForOldVersions(t *testing.T) {
 	}
 }
 
-// TestLoadRejectsTruncatedV3: cutting a V003 file anywhere in the compiled
+// TestLoadRejectsTruncatedFlat: cutting a flat-container model file (the
+// V004 default here; V003 shares the framing) anywhere in the compiled
 // section must fail loudly on both load paths, never panic or SIGBUS.
-func TestLoadRejectsTruncatedV3(t *testing.T) {
+func TestLoadRejectsTruncatedFlat(t *testing.T) {
 	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +252,7 @@ func TestLoadPathLazyMixturePinsInode(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "model.bin")
 	var buf bytes.Buffer
-	if err := rec.Save(&buf); err != nil {
+	if err := rec.SaveAs(&buf, saveMagicV3); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {

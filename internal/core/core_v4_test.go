@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiled"
+)
+
+// quantScoreTol is the asserted ceiling on V004 score drift: the CPS4
+// format bounds the absolute probability error by the per-node
+// quantisation step (≤ 1/65535), and mixture weights multiply to ≤ 1.
+const quantScoreTol = 2e-5
+
+// assertCloseRecommendations compares two recommenders under the quantised
+// contract: identical suggestion IDs in identical order (the test contexts
+// have well-separated scores, so bounded error cannot reorder them) with
+// scores within quantScoreTol.
+func assertCloseRecommendations(t *testing.T, label string, exact, quant *Recommender) {
+	t.Helper()
+	for _, ctx := range [][]string{
+		{"nokia n73"}, {"kidney stones"},
+		{"nokia n73", "nokia n73 themes"}, {"unknown", "nokia n73"},
+	} {
+		x, y := exact.Recommend(ctx, 5), quant.Recommend(ctx, 5)
+		if len(x) != len(y) {
+			t.Fatalf("%s: ctx %v: %d vs %d suggestions", label, ctx, len(x), len(y))
+		}
+		for i := range x {
+			if x[i].Query != y[i].Query {
+				t.Fatalf("%s: ctx %v rank %d: %q vs %q", label, ctx, i, x[i].Query, y[i].Query)
+			}
+			if diff := math.Abs(x[i].Score - y[i].Score); diff > quantScoreTol {
+				t.Fatalf("%s: ctx %v rank %d: score drift %g > %g", label, ctx, i, diff, quantScoreTol)
+			}
+		}
+	}
+}
+
+// TestSaveWritesV4AndLoadRestores: the default save format is V004 (the
+// quantised CPS4 compiled section) and the reader-based Load restores it
+// within the bounded-error contract.
+func TestSaveWritesV4AndLoadRestores(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String()[:len(saveMagicV4)]; got != saveMagicV4 {
+		t.Fatalf("header = %q, want %q", got, saveMagicV4)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := loaded.CompiledModel()
+	if cm == nil || !cm.Quantised() {
+		t.Fatalf("V004 load did not restore a quantised compiled model (%v)", cm)
+	}
+	if li := loaded.LoadInfo(); li.Mode != LoadModeHeap || li.Version != saveMagicV4 ||
+		li.Format != "CPS4" || li.BlobBytes <= 0 {
+		t.Fatalf("LoadInfo = %+v", li)
+	}
+	assertCloseRecommendations(t, "stream", rec, loaded)
+}
+
+// TestLoadPathMmapV4: LoadPath on a V004 file must take the mmap route,
+// report the CPS4 blob it mapped, serve within the quantisation bound, and
+// still expose the mixture lazily so exact formats can be re-saved.
+func TestLoadPathMmapV4(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	li := loaded.LoadInfo()
+	wantMode := LoadModeMmap
+	if _, merr := compiled.OpenMmap(path, 0, 1); merr == compiled.ErrMmapUnsupported {
+		wantMode = LoadModeHeap
+	}
+	if li.Mode != wantMode || li.Version != saveMagicV4 || li.Format != "CPS4" ||
+		li.BlobBytes <= 0 || li.Duration <= 0 {
+		t.Fatalf("LoadInfo = %+v, want mode %q format CPS4", li, wantMode)
+	}
+	cm := loaded.CompiledModel()
+	if cm == nil || !cm.Quantised() {
+		t.Fatal("V004 LoadPath did not produce a quantised compiled model")
+	}
+	assertCloseRecommendations(t, "mmap", rec, loaded)
+}
+
+// TestV4BlobSmallerThanV3: a CPS4 blob must undercut the CPS3 blob even on
+// this toy model, where the fixed headers dominate and dilute the ratio.
+// The real ≥40% reduction claim is asserted on larger corpora in
+// internal/compiled's TestQuantSizeReduction and gated on the benchmark
+// model in BENCH_serving.json.
+func TestV4BlobSmallerThanV3(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		t.Fatal("no compiled model")
+	}
+	cps3, cps4 := cm.FlatSize(), cm.Flat4Size()
+	if cps4 >= cps3 {
+		t.Fatalf("CPS4 blob %d bytes >= CPS3 blob %d bytes", cps4, cps3)
+	}
+}
+
+// TestQuantisedSaveAsRecompilesExactForms: a recommender serving from a
+// quantised CPS4 load (whose raw counts are gone) must still write exact
+// V002/V003 files by recompiling from the lazily decoded mixture, and those
+// files must serve bit-identically to the original trained model.
+func TestQuantisedSaveAsRecompilesExactForms(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v4 bytes.Buffer
+	if err := rec.Save(&v4); err != nil {
+		t.Fatal(err)
+	}
+	quantRec, err := Load(bytes.NewReader(v4.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm := quantRec.CompiledModel(); cm == nil || !cm.Quantised() {
+		t.Fatal("V004 load is not quantised")
+	}
+	for _, version := range []string{saveMagicV2, saveMagicV3} {
+		var buf bytes.Buffer
+		if err := quantRec.SaveAs(&buf, version); err != nil {
+			t.Fatalf("SaveAs(%s) from quantised model: %v", version, err)
+		}
+		exact, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("loading %s written from quantised model: %v", version, err)
+		}
+		if cm := exact.CompiledModel(); cm == nil || !cm.Exact() {
+			t.Fatalf("%s round trip did not restore an exact compiled model", version)
+		}
+		assertSameRecommendations(t, version+"-from-quantised", rec, exact)
+	}
+	// And a V004 re-save of the quantised model is byte-stable from the
+	// compiled section onward (the fixed-point values re-emit verbatim).
+	var again bytes.Buffer
+	if err := quantRec.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	reload, err := Load(bytes.NewReader(again.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCloseRecommendations(t, "v4-resave", rec, reload)
+}

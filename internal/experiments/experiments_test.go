@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/compiled"
 )
 
 // The integration tests share one small corpus and model set; building them
@@ -250,6 +252,44 @@ func TestTable7FootprintOrdering(t *testing.T) {
 	}
 	if r.MVMMUnion != r.VMM00Size {
 		t.Errorf("union PST %d != VMM(0.0) nodes %d", r.MVMMUnion, r.VMM00Size)
+	}
+}
+
+// TestTable7CompiledRowsMatchBlobBytes: Table VII's compiled rows must be
+// the exact byte lengths of the serving blobs production maps — the
+// AppendFlat/AppendFlat4 output — not an estimate, and the quantised row
+// must realise a substantial reduction over the exact flat form.
+func TestTable7CompiledRowsMatchBlobBytes(t *testing.T) {
+	_, m := setup(t)
+	r, err := Table7(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := compiled.Compile(m.MVMM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := map[string]int64{}
+	for i, name := range r.Models {
+		size[name] = r.Bytes[i]
+	}
+	if want := int64(len(comp.AppendFlat(nil))); size["MVMM (compiled CPS3)"] != want || r.CPS3Bytes != want {
+		t.Errorf("CPS3 row %d (field %d) != len(AppendFlat) %d", size["MVMM (compiled CPS3)"], r.CPS3Bytes, want)
+	}
+	blob4, err := comp.AppendFlat4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(blob4)); size["MVMM (compiled CPS4, quantised)"] != want || r.CPS4Bytes != want {
+		t.Errorf("CPS4 row %d (field %d) != len(AppendFlat4) %d", size["MVMM (compiled CPS4, quantised)"], r.CPS4Bytes, want)
+	}
+	if r.CPS4Bytes >= r.CPS3Bytes {
+		t.Errorf("quantised CPS4 blob %d >= exact CPS3 blob %d", r.CPS4Bytes, r.CPS3Bytes)
+	}
+	// The compiled serving blob must also undercut the serialized
+	// interpreted mixture it replaces — the deployment argument of Table VII.
+	if r.CPS4Bytes >= size["MVMM"] {
+		t.Errorf("CPS4 blob %d >= interpreted MVMM %d", r.CPS4Bytes, size["MVMM"])
 	}
 }
 

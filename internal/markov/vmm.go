@@ -326,8 +326,10 @@ func (m *VMM) Name() string {
 // Config returns the training configuration.
 func (m *VMM) Config() VMMConfig { return m.cfg }
 
-// NumNodes returns the PST size excluding the root — the Table VII memory
-// proxy.
+// NumNodes returns the PST size excluding the root. Table VII
+// (internal/experiments) reports this interpreted tree's serialized bytes
+// alongside the compiled CPS3/CPS4 serving blobs the deployment actually
+// maps; the node count is the Sec. V.F.2 size quote.
 func (m *VMM) NumNodes() int { return len(m.nodes) }
 
 // Depth returns the deepest stored context length.
@@ -348,8 +350,9 @@ func (m *VMM) ForEachNode(f func(key string, d *Dist)) {
 	}
 }
 
-// nodeKeys returns all stored suffix keys; used by the union-PST size
-// accounting of Table VII.
+// nodeKeys returns all stored suffix keys; used by the union-PST node
+// accounting behind Table VII (the estimate internal/compiled realises as
+// the merged single tree).
 func (m *VMM) nodeKeys() map[string]struct{} {
 	out := make(map[string]struct{}, len(m.nodes))
 	for k := range m.nodes {

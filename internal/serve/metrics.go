@@ -113,6 +113,9 @@ type MetricsResponse struct {
 	ModelGeneration uint64       `json:"model_generation"`
 	KnownQueries    int          `json:"known_queries"`
 	CompiledNodes   int          `json:"compiled_nodes"`
+	Quantised       bool         `json:"compiled_quantised"`
+	BlobFormat      string       `json:"model_blob_format,omitempty"`
+	BlobBytes       int64        `json:"model_blob_bytes,omitempty"`
 	UptimeSeconds   float64      `json:"uptime_seconds"`
 	Runtime         RuntimeStats `json:"runtime"`
 }

@@ -12,9 +12,21 @@
 //
 //	GET  /suggest?q=<query>&q=<query>...&n=5  ranked suggestions for a context
 //	POST /suggest/batch                       many contexts in one request
-//	GET  /healthz                             liveness + model stats
+//	GET  /healthz                             liveness + model/blob provenance
 //	GET  /metrics                             serving counters and latency quantiles
 //	POST /reload                              hot-swap the model (when configured)
+//
+// Invariants: the GET /suggest hot path performs zero heap allocations at
+// steady state — the query string is percent-decoded into pooled buffers
+// (no url.Values), contexts are interned byte-wise against the dictionary,
+// cache hits are byte-key lookups, and responses are built by an
+// append-style JSON encoder property-tested byte-compatible with
+// encoding/json (CI gates the whole stack at <= 2 allocs/op). Request
+// handling never takes a lock: the recommender is immutable and swapped
+// behind one atomic pointer, and every request observes a consistent
+// (model, generation) pair. /healthz and /metrics additionally report the
+// served compiled blob's encoding (CPS3/CPS4), byte length and quantised
+// flag, so the memory/accuracy trade chosen at save time is observable.
 package serve
 
 import (
@@ -72,10 +84,13 @@ type BatchResponse struct {
 
 // Health is the /healthz payload. Compiled reports whether requests are
 // served from the flat single-PST form (the expected state; false means the
-// interpreted-mixture fallback) and CompiledNodes its merged trie size.
-// LoadMode ("trained", "heap" or "mmap") and LoadMicros report how and how
-// fast the current model materialised, so cold-start behaviour is observable
-// in production.
+// interpreted-mixture fallback), CompiledNodes its merged trie size, and
+// Quantised whether that form is the fixed-point CPS4 encoding (bounded
+// probability error) rather than exact float64. LoadMode ("trained", "heap"
+// or "mmap") and LoadMicros report how and how fast the current model
+// materialised, and BlobFormat/BlobBytes what is actually mapped or decoded
+// — the served memory footprint — so cold-start behaviour and memory cost
+// are observable in production.
 type Health struct {
 	Status        string `json:"status"`
 	KnownQueries  int    `json:"known_queries"`
@@ -83,8 +98,11 @@ type Health struct {
 	Generation    uint64 `json:"model_generation"`
 	Compiled      bool   `json:"compiled"`
 	CompiledNodes int    `json:"compiled_nodes,omitempty"`
+	Quantised     bool   `json:"compiled_quantised,omitempty"`
 	LoadMode      string `json:"model_load_mode,omitempty"`
 	LoadVersion   string `json:"model_load_version,omitempty"`
+	BlobFormat    string `json:"model_blob_format,omitempty"`
+	BlobBytes     int64  `json:"model_blob_bytes,omitempty"`
 	LoadMicros    int64  `json:"model_load_us,omitempty"`
 }
 
@@ -495,10 +513,13 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 	if cm := st.rec.CompiledModel(); cm != nil {
 		resp.Compiled = true
 		resp.CompiledNodes = cm.Nodes()
+		resp.Quantised = cm.Quantised()
 	}
 	li := st.rec.LoadInfo()
 	resp.LoadMode = li.Mode
 	resp.LoadVersion = li.Version
+	resp.BlobFormat = li.Format
+	resp.BlobBytes = li.BlobBytes
 	resp.LoadMicros = li.Duration.Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -508,9 +529,12 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	cs := h.cache.Stats()
 	sorted := h.m.lat.snapshot()
 	compiledNodes := 0
+	quantised := false
 	if cm := st.rec.CompiledModel(); cm != nil {
 		compiledNodes = cm.Nodes()
+		quantised = cm.Quantised()
 	}
+	li := st.rec.LoadInfo()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Requests:        h.m.requests.Load(),
 		SuggestRequests: h.m.suggests.Load(),
@@ -528,6 +552,9 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		ModelGeneration: st.gen,
 		KnownQueries:    st.rec.Dict().Len(),
 		CompiledNodes:   compiledNodes,
+		Quantised:       quantised,
+		BlobFormat:      li.Format,
+		BlobBytes:       li.BlobBytes,
 		UptimeSeconds:   time.Since(h.start).Seconds(),
 		Runtime:         readRuntimeStats(),
 	})

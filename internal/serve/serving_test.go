@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -409,6 +411,61 @@ func TestHealthGeneration(t *testing.T) {
 	}
 	if hp.Generation != 2 || hp.KnownQueries != 2 {
 		t.Fatalf("health after reload = %+v", hp)
+	}
+}
+
+// TestHealthReportsBlobProvenance: a handler serving a V004 LoadPath'd
+// model must surface the served blob's encoding, byte length and quantised
+// flag through /healthz and /metrics — the observability contract for the
+// quantised deployment.
+func TestHealthReportsBlobProvenance(t *testing.T) {
+	rec := testRecommender(t)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	srv := httptest.NewServer(NewHandler(loaded, 5))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hp Health
+	if err := json.NewDecoder(resp.Body).Decode(&hp); err != nil {
+		t.Fatal(err)
+	}
+	if !hp.Compiled || !hp.Quantised || hp.BlobFormat != "CPS4" || hp.BlobBytes <= 0 {
+		t.Fatalf("healthz blob provenance = %+v", hp)
+	}
+	if hp.LoadMode == "" || hp.LoadVersion != "QRECV004" {
+		t.Fatalf("healthz load provenance = %+v", hp)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mp MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mp); err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Quantised || mp.BlobFormat != "CPS4" || mp.BlobBytes != hp.BlobBytes {
+		t.Fatalf("metrics blob provenance = %+v", mp)
 	}
 }
 
