@@ -4,14 +4,17 @@
 GO ?= go
 
 # Serving-path benchmarks tracked across PRs in BENCH_serving.json.
-SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkPredictBatch64|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkCompiledBlobSize
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkPredictBatch64|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkCompiledBlobSize
 # Override for quick smoke runs: make bench-json BENCHTIME=10x
 BENCHTIME ?= 1s
 # Regression gates applied by cmd/benchjson after recording: the cached HTTP
-# serving path and the quantised predict path must stay within their
-# allocation budgets, and the quantised CPS4 blob must stay >= 40% smaller
-# than the exact CPS3 blob on the benchmark model.
-BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkPredictQuantised=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6
+# serving path, the fleet A/B routing path and the quantised predict path
+# must stay within their allocation budgets, the quantised CPS4 blob must
+# stay >= 40% smaller than the exact CPS3 blob on the benchmark model, and
+# the 3-shard batch fan-out must not grow its per-batch allocation count
+# (~1257 today; the ceiling leaves headroom for JSON noise, not for a new
+# per-item allocation, which would cost >= 64).
+BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkShardFanout64=1600 -gate BenchmarkPredictQuantised=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6
 
 .PHONY: all build test race bench bench-json fmt fmt-check vet check-docs ci serve loadgen clean
 
@@ -53,7 +56,7 @@ vet:
 # Documentation gate: every exported symbol in the serving-critical packages
 # must carry a doc comment (see cmd/doccheck).
 check-docs:
-	$(GO) run ./cmd/doccheck ./internal/compiled ./internal/core
+	$(GO) run ./cmd/doccheck ./internal/compiled ./internal/core ./internal/fleet
 
 ci: vet fmt-check check-docs build race bench
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/hmm"
 	"repro/internal/loggen"
 	"repro/internal/markov"
@@ -597,6 +598,112 @@ func BenchmarkServeHTTPCached(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRouteAB measures the fleet A/B serving path end to end: the full
+// handler stack of BenchmarkServeHTTPCached plus interning against the
+// router's base dictionary, the sticky weighted arm choice, per-arm metrics
+// and the X-Serve-Arm response label, over a pool of hot contexts that
+// exercises both arms. The A/B hot path must stay zero-allocation — CI gates
+// allocs/op at 0.
+func BenchmarkRouteAB(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	reg := fleet.NewRegistry(0)
+	if _, err := reg.Add("champion", rec, nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Add("challenger", rec, nil); err != nil {
+		b.Fatal(err)
+	}
+	rt, err := fleet.NewRouter(reg,
+		fleet.ArmSpec{Name: "champion", Weight: 9},
+		fleet.ArmSpec{Name: "challenger", Weight: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	h := serve.New(rec, serve.Options{DefaultN: 5, Fleet: rt})
+
+	targets := make([]string, 0, 16)
+	for i := 0; i < 16 && i < len(ctxs); i++ {
+		targets = append(targets, "/suggest?q="+url.QueryEscape(ctxs[i][0]))
+	}
+	// Requests are built once and shared (the handler never mutates them),
+	// and every target is served twice up front, so the timed region starts
+	// at steady state — warm cache, warm pools — even under CI's short
+	// -benchtime. The gate asserts the hot path, not first-touch fills.
+	reqs := make([]*http.Request, len(targets))
+	for i, target := range targets {
+		reqs[i] = httptest.NewRequest(http.MethodGet, target, nil)
+	}
+	warmRR := &benchRecorder{header: make(http.Header, 4)}
+	for rep := 0; rep < 2; rep++ {
+		for _, req := range reqs {
+			warmRR.reset()
+			h.ServeHTTP(warmRR, req)
+		}
+	}
+	// Serial on purpose: with every buffer preallocated above, allocs/op is
+	// exactly the hot path's own count — 0 — independent of -benchtime and
+	// GOMAXPROCS, which is what lets CI gate it at zero.
+	rr := &benchRecorder{header: make(http.Header, 4)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr.reset()
+		h.ServeHTTP(rr, reqs[i%len(reqs)])
+		if rr.code != http.StatusOK {
+			b.Fatalf("status %d", rr.code)
+		}
+	}
+}
+
+// BenchmarkShardFanout64 measures the consistent-hash batch fan-out: a
+// 64-context POST /suggest/batch split across a 3-shard loopback ring
+// (partition by ring lookup, concurrent sub-batches, in-order merge),
+// ns/op is per batch. CI gates allocs/op against creep in the fan-out
+// machinery (the JSON split/merge dominates; the figure is per 64 contexts).
+func BenchmarkShardFanout64(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	handlers := make([]http.Handler, 3)
+	for i := range handlers {
+		handlers[i] = serve.NewHandler(rec, 5)
+	}
+	router, err := fleet.NewShardRouter(fleet.NewRing(3, 0), fleet.NewLoopbackTransport(handlers...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := serve.BatchRequest{Requests: make([]serve.BatchItem, 64)}
+	for i := range req.Requests {
+		req.Requests[i] = serve.BatchItem{Context: ctxs[(i*7)%len(ctxs)], N: 5}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the shard caches so the timed region measures the fan-out
+	// machinery, not 64 first-touch trie descents.
+	{
+		rr := &benchRecorder{header: make(http.Header, 4)}
+		for rep := 0; rep < 2; rep++ {
+			rr.reset()
+			router.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/suggest/batch", bytes.NewReader(body)))
+			if rr.code != http.StatusOK {
+				b.Fatalf("warmup status %d: %s", rr.code, rr.body)
+			}
+		}
+	}
+	rr := &benchRecorder{header: make(http.Header, 4)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hr := httptest.NewRequest(http.MethodPost, "/suggest/batch", bytes.NewReader(body))
+		rr.reset()
+		router.ServeHTTP(rr, hr)
+		if rr.code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.code, rr.body)
+		}
+	}
+	b.ReportMetric(64, "contexts/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/context")
 }
 
 // BenchmarkServeHTTPBatch measures POST /suggest/batch end to end with

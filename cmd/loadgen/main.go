@@ -5,6 +5,12 @@
 // pipeline (internal/loggen), so their popularity follows the power law of
 // real logs (Fig. 6) and the server's cache sees realistic head/tail skew.
 //
+// Against a fleet-mode server (cmd/serve -arms) the replay is arm-aware:
+// every /suggest response carries the serving arm in X-Serve-Arm, and the
+// report breaks request counts, traffic share and latency quantiles out per
+// arm — the client-side half of an online A/B comparison (the server's
+// /metrics holds the matching per-arm view).
+//
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -requests 20000 -c 16
@@ -64,6 +70,7 @@ func main() {
 		wg       sync.WaitGroup
 		latMu    sync.Mutex
 		lats     []time.Duration
+		armLats  = make(map[string][]time.Duration)
 	)
 	// Report how the server's model materialised (mmap vs heap, and how
 	// fast) so cold-start wins are visible from the traffic side too.
@@ -84,22 +91,30 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(worker)))
 			local := make([]time.Duration, 0, *requests / *conc + 1)
+			localArms := make(map[string][]time.Duration)
 			for issued.Add(1) <= int64(*requests) {
 				var err error
 				var took time.Duration
+				var arm string
 				if *batch > 0 {
 					took, err = doBatch(client, *addr, contexts, rng, *batch, *topN)
 				} else {
-					took, err = doSingle(client, *addr, contexts[rng.Intn(len(contexts))], *topN)
+					took, arm, err = doSingle(client, *addr, contexts[rng.Intn(len(contexts))], *topN)
 				}
 				if err != nil {
 					errCount.Add(1)
 					continue
 				}
 				local = append(local, took)
+				if arm != "" {
+					localArms[arm] = append(localArms[arm], took)
+				}
 			}
 			latMu.Lock()
 			lats = append(lats, local...)
+			for arm, ls := range localArms {
+				armLats[arm] = append(armLats[arm], ls...)
+			}
 			latMu.Unlock()
 		}(w)
 	}
@@ -121,6 +136,7 @@ func main() {
 		fmt.Printf("latency:     p50 %s  p90 %s  p99 %s  max %s\n",
 			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), lats[ok-1])
 	}
+	printArmReport(armLats, ok)
 	printClientMem(memBefore, memAfter, ok)
 	printServerMetrics(client, *addr, serverBefore, ctxServed)
 }
@@ -160,7 +176,28 @@ func buildContexts(n int, seed int64) [][]string {
 	return contexts
 }
 
-func doSingle(client *http.Client, addr string, context []string, n int) (time.Duration, error) {
+// printArmReport breaks the replay out per serving arm when the server
+// labelled its responses (fleet mode): request share and latency quantiles
+// side by side, the numbers an A/B rollout decision reads.
+func printArmReport(armLats map[string][]time.Duration, ok int) {
+	if len(armLats) == 0 || ok == 0 {
+		return
+	}
+	arms := make([]string, 0, len(armLats))
+	for arm := range armLats {
+		arms = append(arms, arm)
+	}
+	sort.Strings(arms)
+	for _, arm := range arms {
+		ls := armLats[arm]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		fmt.Printf("arm %-12s %6d req (%5.1f%%)  p50 %s  p90 %s  p99 %s\n",
+			arm+":", len(ls), 100*float64(len(ls))/float64(ok),
+			pct(ls, 0.50), pct(ls, 0.90), pct(ls, 0.99))
+	}
+}
+
+func doSingle(client *http.Client, addr string, context []string, n int) (time.Duration, string, error) {
 	v := url.Values{}
 	for _, q := range context {
 		v.Add("q", q)
@@ -169,16 +206,23 @@ func doSingle(client *http.Client, addr string, context []string, n int) (time.D
 	start := time.Now()
 	resp, err := client.Get(addr + "/suggest?" + v.Encode())
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("status %d", resp.StatusCode)
+		return 0, "", fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return time.Since(start), nil
+	// Fleet mode labels the serving arm; shard routers label the replica.
+	arm := resp.Header.Get("X-Serve-Arm")
+	if arm == "" {
+		if shard := resp.Header.Get("X-Serve-Shard"); shard != "" {
+			arm = "shard-" + shard
+		}
+	}
+	return time.Since(start), arm, nil
 }
 
 func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Rand, size, n int) (time.Duration, error) {

@@ -1,52 +1,91 @@
-// Command serve exposes a trained recommendation model over HTTP — the
+// Command serve exposes trained recommendation models over HTTP — the
 // paper's real-time deployment scenario, hardened for production traffic:
-// a sharded LRU result cache, request metrics, hot model reload and
-// graceful shutdown.
+// a sharded LRU result cache, request metrics, hot model reload, graceful
+// shutdown, and (since the fleet subsystem) multi-model A/B serving, shadow
+// scoring and consistent-hash shard fan-out.
 //
-// Usage:
+// Roles:
+//
+//	serve (default)  single- or multi-model serving process
+//	shard            alias of serve for replicas behind a -role router
+//	router           consistent-hash fan-out over N shard replicas
+//
+// Single model:
 //
 //	serve -model model.bin [-addr :8080] [-n 5] [-cache 16384] [-quiet]
+//
+// A/B + shadow fleet (first arm is the champion; weight 0 = shadow-only):
+//
+//	serve -arms champion=model.bin:90,challenger=model2.bin:10,next=model3.bin:0
+//
+// Shard fan-out — in-process loopback ring (one mmapped model, 3 partitions):
+//
+//	serve -role router -shards 3 -model model.bin
+//
+// Shard fan-out — distributed (each URL runs `serve -role shard -model ...`):
+//
+//	serve -role router -shards http://shard-0:8080,http://shard-1:8080
 //
 // Then:
 //
 //	curl 'localhost:8080/suggest?q=nokia+n73&q=nokia+n73+themes'
 //	curl -X POST localhost:8080/suggest/batch -d '{"requests":[{"context":["nokia n73"]}]}'
 //	curl localhost:8080/metrics
+//	curl localhost:8080/models        # registry: models, roles, dict hashes, divergence
+//	curl 'localhost:8080/route?q=o2'  # which arm/shard owns this context
 //
 // Hot reload: retrain with cmd/train, overwrite the model file, then either
-// `kill -HUP <pid>` or `curl -X POST localhost:8080/reload`. The new model
-// is swapped in behind an atomic pointer; in-flight requests finish on the
-// old one and no traffic is dropped. SIGINT/SIGTERM drain connections
-// before exiting.
+// `kill -HUP <pid>` or `curl -X POST localhost:8080/reload` (fleet mode:
+// `/reload?model=<name>`). A replacement whose dictionary is not an
+// ID-preserving extension of the served one is refused with 409 — append
+// `&force=1` to replace the vocabulary deliberately. The new model is
+// swapped in behind an atomic pointer; in-flight requests finish on the old
+// one and no traffic is dropped. SIGINT/SIGTERM drain connections before
+// exiting.
+//
+// -map-willneed and -mlock request best-effort kernel paging hints for the
+// mmapped compiled blob (readahead / eviction pinning); the applied outcome
+// is logged and surfaced in /healthz as model_map_advice.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
-// loadModel loads through core.LoadPath so V003 model files take the mmap
-// fast path: the compiled serving form is mapped, not decoded, which makes
-// cold starts (and SIGHUP reloads) near-instant and shares trie pages across
-// server processes.
+// loadOpts carries the flag-gated mmap paging hints into every model load.
+var loadOpts core.LoadOptions
+
+// loadModel loads through core.LoadPathWith so V003/V004 model files take
+// the mmap fast path: the compiled serving form is mapped, not decoded,
+// which makes cold starts (and SIGHUP reloads) near-instant and shares trie
+// pages across server processes.
 func loadModel(path string) (*core.Recommender, error) {
-	rec, err := core.LoadPath(path)
+	rec, err := core.LoadPathWith(path, loadOpts)
 	if err != nil {
 		return nil, err
 	}
 	li := rec.LoadInfo()
-	log.Printf("model load: mode=%s version=%s blob=%s/%dB took=%s",
-		li.Mode, li.Version, li.Format, li.BlobBytes, li.Duration.Round(time.Microsecond))
+	advice := li.MapAdvice
+	if advice == "" {
+		advice = "none"
+	}
+	log.Printf("model load: path=%s mode=%s version=%s blob=%s/%dB advice=%s took=%s",
+		path, li.Mode, li.Version, li.Format, li.BlobBytes, advice, li.Duration.Round(time.Microsecond))
 	return rec, nil
 }
 
@@ -54,59 +93,49 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	var (
-		modelPath = flag.String("model", "model.bin", "model file from cmd/train")
+		role      = flag.String("role", "serve", "process role: serve, shard (replica behind a router) or router (consistent-hash fan-out)")
+		modelPath = flag.String("model", "model.bin", "model file from cmd/train (single-model serving, or the shared model of a loopback ring)")
+		arms      = flag.String("arms", "", "fleet arms 'name=path[:weight],...': first arm is the champion, weight 0 = shadow-scored only (default weight 1)")
+		shards    = flag.String("shards", "", "router backends: an integer N for an in-process loopback ring over -model, or comma-separated shard base URLs")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		topN      = flag.Int("n", 5, "default suggestion count")
-		cacheCap  = flag.Int("cache", 0, "result cache capacity (0 = default)")
+		cacheCap  = flag.Int("cache", 0, "result cache capacity (0 = default; loopback rings split it across shards)")
 		quiet     = flag.Bool("quiet", false, "disable per-request logging")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		willNeed  = flag.Bool("map-willneed", false, "madvise(WILLNEED) the mmapped compiled blob: asynchronous readahead instead of first-touch page faults")
+		mlock     = flag.Bool("mlock", false, "mlock(2) the mmapped compiled blob: pin trie pages against eviction (needs RLIMIT_MEMLOCK)")
 	)
 	flag.Parse()
+	loadOpts = core.LoadOptions{MapWillNeed: *willNeed, MapLock: *mlock}
 
-	rec, err := loadModel(*modelPath)
-	if err != nil {
-		log.Fatal(err)
+	var handler http.Handler
+	var onHUP func()
+	switch *role {
+	case "serve", "shard":
+		h := buildServeHandler(*modelPath, *arms, *topN, *cacheCap, *quiet)
+		handler = h
+		onHUP = h.reloadAll
+	case "router":
+		handler = buildRouterHandler(*shards, *vnodes, *modelPath, *topN, *cacheCap)
+		onHUP = func() { log.Print("SIGHUP ignored: POST /reload to the router (broadcast to all shards)") }
+	default:
+		log.Fatalf("unknown -role %q (want serve, shard or router)", *role)
 	}
-	opts := serve.Options{
-		DefaultN:      *topN,
-		CacheCapacity: *cacheCap,
-		ReloadFunc:    func() (*core.Recommender, error) { return loadModel(*modelPath) },
-	}
-	if !*quiet {
-		opts.Logger = log.Default()
-	}
-	handler := serve.New(rec, opts)
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if cm := rec.CompiledModel(); cm != nil {
-		// V003/V004 model files mmap the compiled PST (see the "model load"
-		// line for mode, blob format and duration); V002 decode it; V001
-		// compile during Load.
-		form := "exact"
-		if cm.Quantised() {
-			form = "quantised"
-		}
-		log.Printf("model loaded: %d known queries, %s compiled PST with %d nodes / %d followers (depth %d, %d components); listening on %s",
-			rec.Dict().Len(), form, cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components(), *addr)
-	} else {
-		log.Printf("model loaded: %d known queries, serving interpreted mixture (compile unavailable); listening on %s",
-			rec.Dict().Len(), *addr)
-	}
+	log.Printf("role %s listening on %s", *role, *addr)
 
-	// SIGHUP hot-reloads the model file; SIGINT/SIGTERM drain and exit.
+	// SIGHUP hot-reloads model files; SIGINT/SIGTERM drain and exit.
 	reload := make(chan os.Signal, 1)
 	signal.Notify(reload, syscall.SIGHUP)
 	go func() {
 		for range reload {
-			gen, err := handler.Reload()
-			if err != nil {
-				log.Printf("SIGHUP reload failed (still serving old model): %v", err)
-				continue
-			}
-			log.Printf("SIGHUP reload ok: now at model generation %d", gen)
+			onHUP()
 		}
 	}()
 
@@ -129,4 +158,214 @@ func main() {
 		}
 	}
 	log.Print("bye")
+}
+
+// serveProcess bundles the handler with what SIGHUP must reload.
+type serveProcess struct {
+	*serve.Handler
+	fleetRouter *fleet.Router
+}
+
+// reloadAll is the SIGHUP behaviour: reload the single model, or every fleet
+// slot that has a loader. Dictionary-incompatible replacements are refused
+// (the operator can force over HTTP); the old model keeps serving either
+// way.
+func (p *serveProcess) reloadAll() {
+	if p.fleetRouter == nil {
+		gen, err := p.Handler.Reload()
+		if err != nil {
+			log.Printf("SIGHUP reload failed (still serving old model): %v", err)
+			return
+		}
+		log.Printf("SIGHUP reload ok: now at model generation %d", gen)
+		return
+	}
+	for _, slot := range p.fleetRouter.Registry().Slots() {
+		gen, err := slot.Reload(false)
+		if err != nil {
+			log.Printf("SIGHUP reload of %q failed (still serving old model): %v", slot.Name(), err)
+			continue
+		}
+		log.Printf("SIGHUP reload ok: model %q at generation %d", slot.Name(), gen)
+	}
+	if err := p.fleetRouter.RefreshBase(); err != nil {
+		log.Printf("interning base not advanced: %v", err)
+	}
+}
+
+// buildServeHandler assembles the serve/shard role: single-model serving, or
+// a fleet registry + router when -arms is given.
+func buildServeHandler(modelPath, arms string, topN, cacheCap int, quiet bool) *serveProcess {
+	opts := serve.Options{DefaultN: topN, CacheCapacity: cacheCap}
+	if !quiet {
+		opts.Logger = log.Default()
+	}
+	if arms == "" {
+		rec, err := loadModel(modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.ReloadFunc = func() (*core.Recommender, error) { return loadModel(modelPath) }
+		logModelShape("", rec)
+		return &serveProcess{Handler: serve.New(rec, opts)}
+	}
+
+	specs, err := parseArms(arms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := fleet.NewRegistry(cacheCap)
+	var champion *core.Recommender
+	for _, spec := range specs {
+		rec, err := loadModel(spec.path)
+		if err != nil {
+			log.Fatalf("arm %q: %v", spec.name, err)
+		}
+		path := spec.path
+		if _, err := reg.Add(spec.name, rec, func() (*core.Recommender, error) { return loadModel(path) }); err != nil {
+			log.Fatal(err)
+		}
+		if champion == nil {
+			champion = rec
+		}
+		logModelShape(spec.name, rec)
+	}
+	armSpecs := make([]fleet.ArmSpec, len(specs))
+	for i, spec := range specs {
+		armSpecs[i] = fleet.ArmSpec{Name: spec.name, Weight: spec.weight}
+	}
+	rt, err := fleet.NewRouter(reg, armSpecs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, as := range rt.ArmStats() {
+		log.Printf("fleet arm %q: weight %d (%.1f%% of traffic)", as.Name, as.Weight, 100*as.Share)
+	}
+	for _, s := range rt.ShadowSlots() {
+		log.Printf("fleet shadow %q: scored asynchronously, serves no traffic", s.Name())
+	}
+	opts.Fleet = rt
+	return &serveProcess{Handler: serve.New(champion, opts), fleetRouter: rt}
+}
+
+// buildRouterHandler assembles the router role: a consistent-hash ring over
+// an in-process loopback (integer -shards, sharing one -model) or remote
+// shard URLs.
+func buildRouterHandler(shards string, vnodes int, modelPath string, topN, cacheCap int) *fleet.ShardRouter {
+	if shards == "" {
+		log.Fatal("-role router needs -shards (an integer for a loopback ring, or comma-separated shard URLs)")
+	}
+	if n, err := strconv.Atoi(shards); err == nil {
+		if n < 1 {
+			log.Fatalf("-shards %d: need at least one shard", n)
+		}
+		rec, err := loadModel(modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logModelShape("", rec)
+		perShardCache := 0
+		if cacheCap > 0 {
+			perShardCache = (cacheCap + n - 1) / n
+		}
+		handlers := make([]http.Handler, n)
+		for i := range handlers {
+			handlers[i] = serve.New(rec, serve.Options{
+				DefaultN:      topN,
+				CacheCapacity: perShardCache,
+				// POST /reload on the router broadcasts here, so a loopback
+				// ring hot-reloads like any other deployment. Each partition
+				// remaps the file independently; pages stay shared.
+				ReloadFunc: func() (*core.Recommender, error) { return loadModel(modelPath) },
+			})
+		}
+		router, err := fleet.NewShardRouter(fleet.NewRing(n, vnodes), fleet.NewLoopbackTransport(handlers...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loopback ring: %d shards over one model, %d virtual nodes/shard", n, ringVnodes(vnodes))
+		return router
+	}
+	urls := strings.Split(shards, ",")
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+		},
+	}
+	tr, err := fleet.NewHTTPTransport(urls, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := fleet.NewShardRouter(fleet.NewRing(len(urls), vnodes), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("HTTP ring: %d shards (%s), %d virtual nodes/shard", len(urls), shards, ringVnodes(vnodes))
+	return router
+}
+
+func ringVnodes(vnodes int) int {
+	if vnodes <= 0 {
+		return fleet.DefaultVirtualNodes
+	}
+	return vnodes
+}
+
+// armSpec is one parsed -arms entry.
+type armSpec struct {
+	name   string
+	path   string
+	weight uint32
+}
+
+// parseArms decodes -arms: comma-separated name=path[:weight] entries,
+// weight defaulting to 1 and 0 marking shadow arms.
+func parseArms(s string) ([]armSpec, error) {
+	var specs []armSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("malformed -arms entry %q (want name=path[:weight])", entry)
+		}
+		spec := armSpec{name: name, path: rest, weight: 1}
+		if path, w, ok := strings.Cut(rest, ":"); ok {
+			weight, err := strconv.ParseUint(w, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("malformed weight in -arms entry %q: %v", entry, err)
+			}
+			spec.path = path
+			spec.weight = uint32(weight)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-arms given but no arms parsed from %q", s)
+	}
+	return specs, nil
+}
+
+// logModelShape logs the loaded model's serving shape (the compiled-PST line
+// operators grep for).
+func logModelShape(name string, rec *core.Recommender) {
+	label := ""
+	if name != "" {
+		label = fmt.Sprintf(" %q", name)
+	}
+	if cm := rec.CompiledModel(); cm != nil {
+		form := "exact"
+		if cm.Quantised() {
+			form = "quantised"
+		}
+		log.Printf("model%s loaded: %d known queries, %s compiled PST with %d nodes / %d followers (depth %d, %d components)",
+			label, rec.Dict().Len(), form, cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components())
+		return
+	}
+	log.Printf("model%s loaded: %d known queries, serving interpreted mixture (compile unavailable)",
+		label, rec.Dict().Len())
 }

@@ -222,3 +222,69 @@ func TestSuggestCacheConcurrent(t *testing.T) {
 		t.Fatalf("lookup count = %d, want %d", st.Hits+st.Misses, 8*300)
 	}
 }
+
+// TestSuggestCacheSlotIsolation: the slot dimension of the key must keep a
+// fleet of models sharing one LRU from ever answering across slots, while
+// repeated lookups within one slot still hit.
+func TestSuggestCacheSlotIsolation(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(128)
+	ctx := rec.InternContext([]string{"o2"})
+
+	a := sc.RecommendSlot(1, 1, rec, ctx, 5)
+	if h := sc.Stats().Hits; h != 0 {
+		t.Fatalf("first slot-1 lookup hit (%d)", h)
+	}
+	// Same slot, same generation: hit, and the shared slice comes back.
+	b := sc.RecommendSlot(1, 1, rec, ctx, 5)
+	if h := sc.Stats().Hits; h != 1 {
+		t.Fatalf("slot-1 repeat missed (hits=%d)", h)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("slot hit did not return the cached slice")
+	}
+	// Different slot, same (gen, ctx, n): must miss.
+	sc.RecommendSlot(2, 1, rec, ctx, 5)
+	if h := sc.Stats().Hits; h != 1 {
+		t.Fatalf("slot 2 hit slot 1's entry (hits=%d)", h)
+	}
+	// Slot 0 is the slot-less methods' key space: RecommendInterned must hit
+	// what RecommendSlot(0, ...) stored and vice versa.
+	sc.RecommendSlot(0, 1, rec, ctx, 5)
+	sc.RecommendInterned(1, rec, ctx, 5)
+	if h := sc.Stats().Hits; h != 2 {
+		t.Fatalf("slot-less lookup missed slot 0's entry (hits=%d)", h)
+	}
+	// Bumping only the slot's generation must invalidate only that slot.
+	sc.RecommendSlot(1, 2, rec, ctx, 5)
+	if h := sc.Stats().Hits; h != 2 {
+		t.Fatalf("stale generation answered after slot bump (hits=%d)", h)
+	}
+}
+
+// TestSuggestCacheBatchSlot: the pre-interned batch entry point must resolve
+// hits from the slot's key space and score only the misses.
+func TestSuggestCacheBatchSlot(t *testing.T) {
+	rec := testRecommender(t)
+	sc := NewSuggestCache(128)
+	ctxA := rec.InternContext([]string{"o2"})
+	ctxB := rec.InternContext([]string{"o2", "o2 mobile"})
+
+	warm := sc.RecommendSlot(3, 1, rec, ctxA, 5)
+	out := make([][]core.Suggestion, 3)
+	sc.RecommendBatchSlot(3, 1, rec, []query.Seq{ctxA, ctxB, nil}, []int{5, 5, 5}, out)
+	if len(out[0]) == 0 || &out[0][0] != &warm[0] {
+		t.Fatal("batch did not reuse the slot's cached entry")
+	}
+	if len(out[1]) == 0 {
+		t.Fatal("batch miss produced no suggestions")
+	}
+	if out[2] != nil {
+		t.Fatalf("empty context produced %v", out[2])
+	}
+	// The batch's miss must now be a hit for the single-context path.
+	hit := sc.RecommendSlot(3, 1, rec, ctxB, 5)
+	if &hit[0] != &out[1][0] {
+		t.Fatal("batch miss was not inserted under the slot key")
+	}
+}

@@ -9,10 +9,18 @@ import (
 
 // SuggestCache fronts core.Recommender.Recommend with a sharded LRU keyed
 // on the interned context IDs (not the raw strings), the requested
-// suggestion count, and a caller-supplied model generation. Keying on IDs
-// means spelling-normalised duplicates ("O2  Mobile" vs "o2 mobile") share
-// one entry, and the generation keeps entries computed against a hot-swapped
-// old model from ever answering for the new one.
+// suggestion count, a caller-supplied model generation, and a slot
+// identifier. Keying on IDs means spelling-normalised duplicates ("O2
+// Mobile" vs "o2 mobile") share one entry, and the generation keeps entries
+// computed against a hot-swapped old model from ever answering for the new
+// one.
+//
+// The slot dimension lets a multi-model registry (internal/fleet) front all
+// of its models with one cache: every slot carries its own generation
+// counter, entries from different slots can never collide, and — because
+// sticky routing sends each context to one slot — LRU capacity is shared in
+// proportion to actual per-model traffic instead of being statically split.
+// Single-model callers use the slot-less methods, which serve slot 0.
 //
 // Cached suggestion slices are shared between callers and must be treated
 // as immutable.
@@ -58,19 +66,26 @@ func (sc *SuggestCache) Recommend(gen uint64, rec *core.Recommender, context []s
 	if len(buf.ctx) == 0 {
 		return nil
 	}
-	return sc.recommendKeyed(gen, rec, buf, buf.ctx, n)
+	return sc.recommendKeyed(0, gen, rec, buf, buf.ctx, n)
 }
 
 // RecommendInterned is Recommend for an already-interned context — the HTTP
 // fast path, which interns once per request and reuses the IDs for both the
 // cache key and the prediction.
 func (sc *SuggestCache) RecommendInterned(gen uint64, rec *core.Recommender, ctx query.Seq, n int) []core.Suggestion {
+	return sc.RecommendSlot(0, gen, rec, ctx, n)
+}
+
+// RecommendSlot is RecommendInterned inside a named registry slot: the slot
+// ID joins the cache key, so a fleet of models shares one LRU without any
+// cross-model key collisions. (gen is the slot's own generation counter.)
+func (sc *SuggestCache) RecommendSlot(slot uint32, gen uint64, rec *core.Recommender, ctx query.Seq, n int) []core.Suggestion {
 	if len(ctx) == 0 {
 		return nil
 	}
 	buf := sc.bufs.Get().(*suggestBuf)
 	defer sc.putBuf(buf)
-	return sc.recommendKeyed(gen, rec, buf, ctx, n)
+	return sc.recommendKeyed(slot, gen, rec, buf, ctx, n)
 }
 
 func (sc *SuggestCache) putBuf(buf *suggestBuf) {
@@ -81,8 +96,8 @@ func (sc *SuggestCache) putBuf(buf *suggestBuf) {
 
 // recommendKeyed runs the keyed lookup-or-compute. The key string is only
 // allocated on a miss, where it is retained by the LRU.
-func (sc *SuggestCache) recommendKeyed(gen uint64, rec *core.Recommender, buf *suggestBuf, ctx query.Seq, n int) []core.Suggestion {
-	buf.key = appendSuggestKey(buf.key[:0], gen, ctx, n)
+func (sc *SuggestCache) recommendKeyed(slot uint32, gen uint64, rec *core.Recommender, buf *suggestBuf, ctx query.Seq, n int) []core.Suggestion {
+	buf.key = appendSuggestKey(buf.key[:0], slot, gen, ctx, n)
 	if v, ok := sc.lru.GetBytes(buf.key); ok {
 		return v
 	}
@@ -110,7 +125,7 @@ func (sc *SuggestCache) RecommendBatch(gen uint64, rec *core.Recommender, contex
 		if len(buf.ctx) == 0 {
 			continue
 		}
-		buf.key = appendSuggestKey(buf.key[:0], gen, buf.ctx, ns[i])
+		buf.key = appendSuggestKey(buf.key[:0], 0, gen, buf.ctx, ns[i])
 		if v, ok := sc.lru.GetBytes(buf.key); ok {
 			out[i] = v
 			continue
@@ -130,10 +145,54 @@ func (sc *SuggestCache) RecommendBatch(gen uint64, rec *core.Recommender, contex
 	}
 }
 
-// appendSuggestKey encodes (gen, n, ctx) into dst: 8 bytes of generation,
-// 4 bytes of n, then 4 bytes per context ID (the Seq.Key layout).
-func appendSuggestKey(dst []byte, gen uint64, ctx query.Seq, n int) []byte {
+// RecommendBatchSlot answers every (ctxs[i], ns[i]) pair into out[i] (which
+// must be len(ctxs) long) inside one registry slot, for contexts that are
+// already interned — the fleet batch path, which interns once with the
+// router's shared base dictionary before routing each item to its arm. Hits
+// come from the shared LRU under the slot's key space; all misses are scored
+// through one batched trie descent against rec and inserted. ctxs entries
+// may live in recycled buffers: the miss path clones before retaining.
+func (sc *SuggestCache) RecommendBatchSlot(slot uint32, gen uint64, rec *core.Recommender, ctxs []query.Seq, ns []int, out [][]core.Suggestion) {
+	buf := sc.bufs.Get().(*suggestBuf)
+	defer sc.putBuf(buf)
+	var (
+		missCtx []query.Seq
+		missKey []string
+		missN   []int
+		missIdx []int
+	)
+	for i, ctx := range ctxs {
+		out[i] = nil
+		if len(ctx) == 0 {
+			continue
+		}
+		buf.key = appendSuggestKey(buf.key[:0], slot, gen, ctx, ns[i])
+		if v, ok := sc.lru.GetBytes(buf.key); ok {
+			out[i] = v
+			continue
+		}
+		missCtx = append(missCtx, ctx.Clone())
+		missKey = append(missKey, string(buf.key))
+		missN = append(missN, ns[i])
+		missIdx = append(missIdx, i)
+	}
+	if len(missCtx) == 0 {
+		return
+	}
+	res := rec.RecommendBatchIDs(missCtx, missN)
+	for j, i := range missIdx {
+		out[i] = res[j]
+		sc.lru.Put(missKey[j], res[j])
+	}
+}
+
+// appendSuggestKey encodes (slot, gen, n, ctx) into dst: 4 bytes of slot ID,
+// 8 bytes of generation, 4 bytes of n, then 4 bytes per context ID (the
+// Seq.Key layout). Every entry point shares this one layout, so keys from
+// different (slot, generation) pairs can never alias.
+func appendSuggestKey(dst []byte, slot uint32, gen uint64, ctx query.Seq, n int) []byte {
 	dst = append(dst,
+		byte(slot>>24), byte(slot>>16), byte(slot>>8), byte(slot),
 		byte(gen>>56), byte(gen>>48), byte(gen>>40), byte(gen>>32),
 		byte(gen>>24), byte(gen>>16), byte(gen>>8), byte(gen),
 		byte(n>>24), byte(n>>16), byte(n>>8), byte(n))

@@ -1,0 +1,25 @@
+//go:build linux
+
+package compiled
+
+import "syscall"
+
+// madviseWillNeed asks the kernel to read the mapping ahead asynchronously
+// (MADV_WILLNEED): sequential readahead instead of per-page demand faults on
+// the serving path's first touches.
+func madviseWillNeed(mapping []byte) error {
+	if len(mapping) == 0 {
+		return nil
+	}
+	return syscall.Madvise(mapping, syscall.MADV_WILLNEED)
+}
+
+// mlockRange pins the mapping's pages in memory so the trie can never be
+// evicted under pressure. Subject to RLIMIT_MEMLOCK; callers treat failure
+// as a degraded (demand-paged) success.
+func mlockRange(mapping []byte) error {
+	if len(mapping) == 0 {
+		return nil
+	}
+	return syscall.Mlock(mapping)
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package compiled
+
+import "errors"
+
+// errAdviceUnsupported reports that this platform exposes no madvise/mlock —
+// the hints degrade to plain demand paging.
+var errAdviceUnsupported = errors.New("unsupported on this platform")
+
+func madviseWillNeed([]byte) error { return errAdviceUnsupported }
+
+func mlockRange([]byte) error { return errAdviceUnsupported }

@@ -131,11 +131,13 @@ type Model struct {
 
 	// Mmap backing (models returned by OpenMmap only): the full mapping the
 	// arrays alias, unmapped by Release or by the GC cleanup once the model
-	// becomes unreachable.
+	// becomes unreachable. mapAdvice records the kernel paging hints applied
+	// to the mapping (OpenMmapAdvised), "" when none were requested.
 	release     []byte
 	cleanup     runtime.Cleanup
 	releaseOnce sync.Once
 	releaseErr  error
+	mapAdvice   string
 }
 
 // Compile flattens a trained mixture into its serving form. It fails — and

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/markov"
@@ -213,4 +214,41 @@ func TestOpenMmapUnalignedOffset(t *testing.T) {
 	}
 	defer m.Release()
 	assertBitIdentical(t, "mmap-unaligned", c, m, parityContexts(rng, sessions, vocab)[:50], vocab, rng)
+}
+
+// TestOpenMmapAdvised: paging hints must apply (or degrade, recorded) while
+// leaving predictions bit-identical, and plain OpenMmap must report no
+// advice.
+func TestOpenMmapAdvised(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	c, sessions, vocab, rng := flatTestModel(t, 97)
+	blob := c.AppendFlat(nil)
+	path := filepath.Join(t.TempDir(), "model.cps3")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := OpenMmap(path, 0, int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.MapAdvice(); got != "" {
+		t.Fatalf("unadvised mapping reports %q", got)
+	}
+	plain.Release()
+
+	m, err := OpenMmapAdvised(path, 0, int64(len(blob)), MapAdvice{WillNeed: true, Lock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	advice := m.MapAdvice()
+	// Both hints must be accounted for — applied cleanly or recorded with
+	// their error — in request order.
+	if !strings.HasPrefix(advice, "willneed") || !strings.Contains(advice, "mlock") {
+		t.Fatalf("advice = %q, want willneed and mlock accounted for", advice)
+	}
+	assertBitIdentical(t, "mmap-advised", c, m, parityContexts(rng, sessions, vocab)[:50], vocab, rng)
 }

@@ -117,6 +117,7 @@ type LoadInfo struct {
 	Version   string        // save-format magic of the source file, "" if trained
 	Format    string        // compiled-blob encoding served ("CPS1", "CPS3", "CPS4"); "" if compiled in-process
 	BlobBytes int64         // byte length of the compiled blob decoded or mapped; 0 if compiled in-process
+	MapAdvice string        // kernel paging hints applied to the mapping ("willneed", "mlock", …); "" when none
 	Duration  time.Duration // wall time of the Load/LoadPath call
 }
 
@@ -632,6 +633,26 @@ func blobFormat(blob []byte) string {
 // taken, the blob encoding served (CPS3 or quantised CPS4) and its byte
 // length.
 func LoadPath(path string) (*Recommender, error) {
+	return LoadPathWith(path, LoadOptions{})
+}
+
+// LoadOptions tunes LoadPathWith's mmap fast path. The zero value is
+// LoadPath's behaviour: plain demand paging.
+type LoadOptions struct {
+	// MapWillNeed requests madvise(MADV_WILLNEED) on the mapped compiled
+	// blob: asynchronous sequential readahead instead of per-page faults on
+	// first touch, removing the cold-start latency spike.
+	MapWillNeed bool
+	// MapLock requests mlock(2) on the mapping: trie pages become
+	// unevictable under memory pressure (needs RLIMIT_MEMLOCK headroom).
+	MapLock bool
+}
+
+// LoadPathWith is LoadPath with explicit load options. Paging hints are
+// best-effort: a refused hint degrades to demand paging and the outcome is
+// reported in LoadInfo.MapAdvice (and onward through /healthz), never as an
+// error.
+func LoadPathWith(path string, opts LoadOptions) (*Recommender, error) {
 	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
@@ -725,7 +746,8 @@ func LoadPath(path string) (*Recommender, error) {
 	}
 
 	mode := LoadModeMmap
-	comp, err := compiled.OpenMmap(path, blobOff, int64(blobLen))
+	comp, err := compiled.OpenMmapAdvised(path, blobOff, int64(blobLen),
+		compiled.MapAdvice{WillNeed: opts.MapWillNeed, Lock: opts.MapLock})
 	if errors.Is(err, compiled.ErrMmapUnsupported) {
 		mode = LoadModeHeap
 		blob := make([]byte, blobLen)
@@ -753,6 +775,7 @@ func LoadPath(path string) (*Recommender, error) {
 		Version:   version,
 		Format:    blobFormat(blobMagic[:]),
 		BlobBytes: int64(blobLen),
+		MapAdvice: comp.MapAdvice(),
 		Duration:  time.Since(start),
 	}
 	return r, nil

@@ -300,3 +300,47 @@ func altModelBytes(t *testing.T) []byte {
 	}
 	return buf.Bytes()
 }
+
+// TestLoadPathWithMapAdvice: paging hints requested through LoadOptions must
+// surface in LoadInfo (applied or recorded-degraded) on the mmap route, and
+// plain LoadPath must report none.
+func TestLoadPathWithMapAdvice(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SaveAs(f, saveMagicV3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.LoadInfo().MapAdvice; got != "" {
+		t.Fatalf("plain LoadPath reports advice %q", got)
+	}
+	plain.Close()
+
+	loaded, err := LoadPathWith(path, LoadOptions{MapWillNeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	li := loaded.LoadInfo()
+	if li.Mode != LoadModeMmap {
+		t.Skipf("no mmap on this platform (mode %s)", li.Mode)
+	}
+	if !strings.HasPrefix(li.MapAdvice, "willneed") {
+		t.Fatalf("LoadInfo.MapAdvice = %q, want willneed accounted for", li.MapAdvice)
+	}
+	assertSameRecommendations(t, "advised", rec, loaded)
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard virtual node count used when callers
+// pass a non-positive value: enough points that the keyspace split stays
+// within a few percent of even for small rings, cheap enough that ring
+// construction is trivial.
+const DefaultVirtualNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle owned
+// by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard uint16
+}
+
+// Ring is a consistent-hash ring mapping context hashes to shard replicas.
+// Each shard owns many virtual nodes, so (a) the keyspace splits near-evenly
+// and (b) adding or removing one replica only remaps the ~1/N of contexts
+// whose arcs it owned, leaving every other replica's result cache and mapped
+// trie pages warm — the property plain modulo sharding lacks. Immutable
+// after construction; Lookup is lock- and allocation-free.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+// NewRing builds a ring of n shards with vnodes virtual nodes each
+// (<= 0 selects DefaultVirtualNodes). Virtual node positions derive from an
+// FNV-1a hash of the (shard, vnode) pair, so every process building a ring
+// of the same size agrees on the mapping — routers can be replicated.
+func NewRing(n, vnodes int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, n*vnodes), shards: n}
+	var key [8]byte
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodes; v++ {
+			key[0], key[1], key[2], key[3] = byte(s>>24), byte(s>>16), byte(s>>8), byte(s)
+			key[4], key[5], key[6], key[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+			// FNV alone has weak high-bit avalanche on short structured keys
+			// and ring positions are compared over all 64 bits, so finalise
+			// with a full-width mixer or the points cluster.
+			r.points = append(r.points, ringPoint{hash: mix64(fnv1a64(key[:])), shard: uint16(s)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding points tie-break on shard so construction stays
+		// deterministic across processes.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the number of shard replicas on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Lookup maps a context hash to its owning shard: the probe is finalised
+// with the same full-width mixer as the virtual nodes (context hashes are
+// FNV too), then the first virtual node at or clockwise of it wins (wrapping
+// to the first point past the top of the circle).
+func (r *Ring) Lookup(h uint64) int {
+	h = mix64(h)
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return int(pts[i].shard)
+}
+
+// mix64 is the 64-bit murmur3 finaliser: a bijective avalanche over all 64
+// bits, applied to FNV outputs before they are used as ring positions.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// FNV-1a parameters shared by every hash in this package (virtual-node
+// positions, the A/B routing hash, and the shard-key hashes, whose GET and
+// batch variants must agree byte for byte).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a64 hashes b with FNV-1a.
+func fnv1a64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// ArmSpec declares one routing arm when building a Router: the registry slot
+// it serves from and its traffic weight. Weight 0 marks a shadow arm: it
+// receives no live traffic but is scored asynchronously against the
+// champion's answers (divergence metrics, cache warming).
+type ArmSpec struct {
+	Name   string
+	Weight uint32
+}
+
+// Arm is one live traffic split of the router.
+type Arm struct {
+	slot   *Slot
+	weight uint32
+	cum    uint64 // cumulative weight bound (exclusive) within the router
+
+	// header is the pre-built X-Serve-Arm header value; assigning a shared
+	// slice into the response header map keeps the hot path allocation-free
+	// (same trick as the serving layer's content-type).
+	header []string
+
+	requests atomic.Uint64
+	lat      armLatencyRing
+}
+
+// Slot returns the registry slot this arm serves from.
+func (a *Arm) Slot() *Slot { return a.slot }
+
+// Weight returns the arm's configured traffic weight.
+func (a *Arm) Weight() uint32 { return a.weight }
+
+// HeaderValue returns the shared pre-built header slice carrying the arm's
+// name, for allocation-free `w.Header()["X-Serve-Arm"] = ...` assignment.
+func (a *Arm) HeaderValue() []string { return a.header }
+
+// armRingSize bounds each arm's latency sample window; smaller than the
+// handler-wide ring because arms multiply it.
+const armRingSize = 1024
+
+// armLatencyRing is a fixed-size ring of recent per-arm request latencies in
+// microseconds (the per-arm slice of the serving layer's latency ring).
+type armLatencyRing struct {
+	mu  sync.Mutex
+	buf [armRingSize]int64
+	n   uint64
+}
+
+func (r *armLatencyRing) record(us int64) {
+	r.mu.Lock()
+	r.buf[r.n%armRingSize] = us
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns the (p50, p99) of the currently held samples.
+func (r *armLatencyRing) quantiles() (p50, p99 int64) {
+	r.mu.Lock()
+	n := r.n
+	if n > armRingSize {
+		n = armRingSize
+	}
+	out := make([]int64, n)
+	copy(out, r.buf[:n])
+	r.mu.Unlock()
+	if len(out) == 0 {
+		return 0, 0
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out[int(0.50*float64(len(out)-1))], out[int(0.99*float64(len(out)-1))]
+}
+
+// Router splits suggestion traffic across registry slots: weighted sticky
+// A/B assignment by hash of the interned context, with optional shadow arms
+// scored off the serving path. Construction validates that every arm's
+// dictionary extends the base (first) arm's, so one interning is valid
+// everywhere; after construction the router is immutable and all methods are
+// safe for unbounded concurrent use.
+type Router struct {
+	reg   *Registry
+	arms  []*Arm // live arms, declaration order; arms[0] is the champion
+	total uint64 // sum of live weights
+	// baseDict is the interning base: initially the champion's dictionary at
+	// construction, advanced by RefreshBase after champion reloads (only when
+	// every arm still extends the candidate — the soundness condition for
+	// sharing one interning across arms).
+	baseDict atomic.Pointer[query.Dict]
+	shadows  *shadower // nil when no shadow arms
+}
+
+// NewRouter builds a router over registry slots. specs declares the arms in
+// order; the first spec is the champion, whose dictionary becomes the base
+// every context is interned against, and at least one spec must carry a
+// positive weight. Weight-0 specs become shadow arms. Every arm's dictionary
+// must extend the champion's (ErrDictIncompatible otherwise) — the property
+// that keeps one interned context valid, sticky and cache-consistent across
+// all arms.
+func NewRouter(reg *Registry, specs ...ArmSpec) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("fleet: router needs at least one arm")
+	}
+	champion := reg.Slot(specs[0].Name)
+	if champion == nil {
+		return nil, fmt.Errorf("fleet: unknown slot %q", specs[0].Name)
+	}
+	// Only the dictionary is retained (the old model itself is not kept
+	// alive); RefreshBase advances it after champion reloads.
+	rt := &Router{reg: reg}
+	baseDict := champion.State().Rec.Dict()
+	rt.baseDict.Store(baseDict)
+	var shadowSlots []*Slot
+	for _, spec := range specs {
+		slot := reg.Slot(spec.Name)
+		if slot == nil {
+			return nil, fmt.Errorf("fleet: unknown slot %q", spec.Name)
+		}
+		if d := slot.State().Rec.Dict(); !d.Extends(baseDict) {
+			return nil, &ErrDictIncompatible{Slot: spec.Name, OldHash: baseDict.Hash(), NewHash: d.Hash()}
+		}
+		if spec.Weight == 0 {
+			shadowSlots = append(shadowSlots, slot)
+			continue
+		}
+		rt.total += uint64(spec.Weight)
+		rt.arms = append(rt.arms, &Arm{
+			slot:   slot,
+			weight: spec.Weight,
+			cum:    rt.total,
+			header: []string{spec.Name},
+		})
+	}
+	if rt.total == 0 {
+		return nil, errors.New("fleet: router needs at least one arm with positive weight")
+	}
+	if len(shadowSlots) > 0 {
+		rt.shadows = newShadower(reg, shadowSlots)
+	}
+	return rt, nil
+}
+
+// Registry returns the router's slot registry.
+func (rt *Router) Registry() *Registry { return rt.reg }
+
+// Arms returns the live arms in declaration order (the champion first). The
+// slice is shared; callers must not mutate it.
+func (rt *Router) Arms() []*Arm { return rt.arms }
+
+// ShadowSlots returns the slots scored in shadow mode, or nil.
+func (rt *Router) ShadowSlots() []*Slot {
+	if rt.shadows == nil {
+		return nil
+	}
+	return rt.shadows.slots
+}
+
+// AppendContextBytes interns a context held as raw byte slices against the
+// router's base dictionary — the one interning a fleet request performs
+// (queries outside the base vocabulary are dropped, exactly like
+// single-model serving drops unknown queries). IDs are appended to dst (a
+// pooled buffer on the hot path).
+func (rt *Router) AppendContextBytes(dst query.Seq, context [][]byte) query.Seq {
+	d := rt.baseDict.Load()
+	for _, q := range context {
+		if id, ok := d.LookupBytes(q); ok {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// AppendContext is AppendContextBytes for string contexts (the batch path).
+func (rt *Router) AppendContext(dst query.Seq, context []string) query.Seq {
+	d := rt.baseDict.Load()
+	for _, q := range context {
+		if id, ok := d.Lookup(q); ok {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// RefreshBase advances the interning base to the champion slot's current
+// dictionary so vocabulary added by a champion reload becomes servable.
+// The advance happens only when every arm and shadow slot still extends the
+// candidate — the condition under which one interning stays valid in every
+// model; otherwise the router keeps interning against the old base (still
+// sound: every slot swap preserved its extension of it) and returns
+// ErrDictIncompatible naming the lagging slot. Callers invoke it after
+// reloading fleet slots; serving continues uninterrupted either way.
+func (rt *Router) RefreshBase() error {
+	next := rt.arms[0].slot.State().Rec.Dict()
+	if next == rt.baseDict.Load() {
+		return nil
+	}
+	check := func(s *Slot) error {
+		if d := s.State().Rec.Dict(); !d.Extends(next) {
+			return &ErrDictIncompatible{Slot: s.name, OldHash: next.Hash(), NewHash: d.Hash()}
+		}
+		return nil
+	}
+	for _, a := range rt.arms {
+		if err := check(a.slot); err != nil {
+			return err
+		}
+	}
+	if rt.shadows != nil {
+		for _, s := range rt.shadows.slots {
+			if err := check(s); err != nil {
+				return err
+			}
+		}
+	}
+	rt.baseDict.Store(next)
+	return nil
+}
+
+// BaseDictHash fingerprints the current interning base (see /models).
+func (rt *Router) BaseDictHash() uint64 { return rt.baseDict.Load().Hash() }
+
+// HashSeq returns the routing hash of an interned context: FNV-1a over the
+// IDs' big-endian bytes. The hash is a pure function of the interned context,
+// which is what makes arm assignment sticky across requests and processes.
+func HashSeq(ctx query.Seq) uint64 {
+	h := uint64(fnvOffset64)
+	for _, q := range ctx {
+		for shift := 24; shift >= 0; shift -= 8 {
+			h ^= uint64(byte(q >> shift))
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// Route returns the arm index serving the interned context: the hash picks a
+// bucket in [0, totalWeight) and the arm owning that bucket wins, so
+// assignment is deterministic (sticky) and weight-proportional. Empty
+// contexts go to the champion. Route is allocation-free.
+func (rt *Router) Route(ctx query.Seq) int {
+	if len(rt.arms) == 1 || len(ctx) == 0 {
+		return 0
+	}
+	bucket := HashSeq(ctx) % rt.total
+	// Arms are few (2-4): a linear scan over cumulative bounds beats binary
+	// search's branch misses.
+	for i, a := range rt.arms {
+		if bucket < a.cum {
+			return i
+		}
+	}
+	return len(rt.arms) - 1 // unreachable: bucket < total == last cum
+}
+
+// Arm returns the live arm at index i (as returned by Route).
+func (rt *Router) Arm(i int) *Arm { return rt.arms[i] }
+
+// RecordServe attributes one served request to arm i: per-arm request count
+// and latency sample, the raw material for offline A/B comparison of the
+// arms' logged answer quality and latency.
+func (rt *Router) RecordServe(i int, tookMicros int64) {
+	a := rt.arms[i]
+	a.requests.Add(1)
+	a.lat.record(tookMicros)
+}
+
+// Shadow hands the served request to the shadow scorer, if any: every
+// configured shadow slot will asynchronously answer the same (context, n)
+// and record its divergence from the champion-side answer. Non-blocking; a
+// full queue drops the sample (counted). champion is the answer served to
+// the user — a cache-owned immutable slice.
+func (rt *Router) Shadow(ctx query.Seq, n int, champion []core.Suggestion) {
+	if rt.shadows == nil {
+		return
+	}
+	rt.shadows.enqueue(ctx, n, champion)
+}
+
+// ShadowStats snapshots the divergence counters per shadow slot, nil when no
+// shadow arms are configured.
+func (rt *Router) ShadowStats() []ShadowStats {
+	if rt.shadows == nil {
+		return nil
+	}
+	return rt.shadows.stats()
+}
+
+// Close stops the shadow worker, if any. The router must not be handed new
+// shadow work after Close; live routing keeps working.
+func (rt *Router) Close() {
+	if rt.shadows != nil {
+		rt.shadows.close()
+	}
+}
+
+// ArmStats is one live arm's /metrics and /models slice.
+type ArmStats struct {
+	Name      string  `json:"name"`
+	Weight    uint32  `json:"weight"`
+	Share     float64 `json:"share"` // weight / total weight
+	Requests  uint64  `json:"requests"`
+	P50Micros int64   `json:"latency_p50_us"`
+	P99Micros int64   `json:"latency_p99_us"`
+}
+
+// ArmStats snapshots the per-arm serving counters in arm order.
+func (rt *Router) ArmStats() []ArmStats {
+	out := make([]ArmStats, len(rt.arms))
+	for i, a := range rt.arms {
+		p50, p99 := a.lat.quantiles()
+		out[i] = ArmStats{
+			Name:      a.header[0],
+			Weight:    a.weight,
+			Share:     float64(a.weight) / float64(rt.total),
+			Requests:  a.requests.Load(),
+			P50Micros: p50,
+			P99Micros: p99,
+		}
+	}
+	return out
+}

@@ -1,0 +1,573 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Transport carries a routed request to a shard replica. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	// Forward serves r from the given shard, writing the shard's response
+	// (status, content type, body) to w — the single-request path, kept
+	// streaming so the loopback case stays allocation-free.
+	Forward(shard int, w http.ResponseWriter, r *http.Request)
+	// Exchange posts a JSON body to path on the given shard and returns the
+	// response — the batch fan-out path.
+	Exchange(shard int, path string, body []byte) (status int, resp []byte, err error)
+	// Shards returns the number of replicas the transport can reach.
+	Shards() int
+}
+
+// LoopbackTransport routes to in-process shard handlers — N serving handlers
+// (typically sharing one mmapped model) behind one router in a single
+// process. It is the zero-infrastructure deployment of the ring: the routing
+// behaviour, stickiness and cache partitioning are identical to the HTTP
+// transport, so a single process can validate a sharding plan before it is
+// distributed.
+type LoopbackTransport struct {
+	handlers []http.Handler
+}
+
+// NewLoopbackTransport builds a loopback transport over in-process handlers,
+// one per shard.
+func NewLoopbackTransport(handlers ...http.Handler) *LoopbackTransport {
+	return &LoopbackTransport{handlers: handlers}
+}
+
+// Shards implements Transport.
+func (t *LoopbackTransport) Shards() int { return len(t.handlers) }
+
+// Forward implements Transport by calling the shard handler directly.
+func (t *LoopbackTransport) Forward(shard int, w http.ResponseWriter, r *http.Request) {
+	t.handlers[shard].ServeHTTP(w, r)
+}
+
+// Exchange implements Transport by synthesising an in-process POST.
+func (t *LoopbackTransport) Exchange(shard int, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rec := &bufferedResponse{header: make(http.Header, 4)}
+	t.handlers[shard].ServeHTTP(rec, req)
+	return rec.status(), rec.body.Bytes(), nil
+}
+
+// bufferedResponse is a minimal in-memory http.ResponseWriter for loopback
+// exchanges.
+type bufferedResponse struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *bufferedResponse) Header() http.Header { return r.header }
+
+func (r *bufferedResponse) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *bufferedResponse) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+func (r *bufferedResponse) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// HTTPTransport routes to shard replicas over HTTP — the distributed
+// deployment, where each shard is a `cmd/serve -role shard` process.
+type HTTPTransport struct {
+	bases  []*url.URL
+	client *http.Client
+}
+
+// NewHTTPTransport builds an HTTP transport over shard base URLs (e.g.
+// "http://shard-0:8080"). client nil selects http.DefaultClient; production
+// routers should pass one with sane timeouts and a sized connection pool.
+func NewHTTPTransport(bases []string, client *http.Client) (*HTTPTransport, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("fleet: no shard URLs")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	t := &HTTPTransport{client: client}
+	for _, b := range bases {
+		u, err := url.Parse(strings.TrimSuffix(b, "/"))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard URL %q: %w", b, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fleet: shard URL %q needs a scheme and host", b)
+		}
+		t.bases = append(t.bases, u)
+	}
+	return t, nil
+}
+
+// Shards implements Transport.
+func (t *HTTPTransport) Shards() int { return len(t.bases) }
+
+// Forward implements Transport by proxying the request to the shard and
+// relaying status, content type and body. Transport failures answer 502.
+func (t *HTTPTransport) Forward(shard int, w http.ResponseWriter, r *http.Request) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		t.bases[shard].String()+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := t.client.Do(out)
+	if err != nil {
+		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// Exchange implements Transport with a plain POST to the shard.
+func (t *HTTPTransport) Exchange(shard int, path string, body []byte) (int, []byte, error) {
+	resp, err := t.client.Post(t.bases[shard].String()+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// ShardRouter fans suggestion traffic out to N replicas of the same model by
+// consistent hash of the request context: GET /suggest forwards whole to one
+// shard, POST /suggest/batch splits the batch by shard, forwards the
+// sub-batches concurrently and reassembles the results in request order.
+// Every replica serves the identical model, so routing choices never change
+// answers — they partition the context keyspace so each replica's result
+// cache and faulted-in trie pages cover only its arc.
+type ShardRouter struct {
+	ring *Ring
+	tr   Transport
+
+	// shardHeader[i] is the pre-built X-Serve-Shard value for shard i.
+	shardHeader [][]string
+
+	requests    atomic.Uint64
+	batches     atomic.Uint64
+	fanouts     atomic.Uint64 // shard sub-requests issued by batch fan-out
+	perShard    []atomic.Uint64
+	maxBatch    int
+	maxBodySize int64
+}
+
+// NewShardRouter builds the router over a ring and a transport of matching
+// size.
+func NewShardRouter(ring *Ring, tr Transport) (*ShardRouter, error) {
+	if ring.Shards() != tr.Shards() {
+		return nil, fmt.Errorf("fleet: ring has %d shards but transport %d", ring.Shards(), tr.Shards())
+	}
+	s := &ShardRouter{
+		ring:        ring,
+		tr:          tr,
+		shardHeader: make([][]string, ring.Shards()),
+		perShard:    make([]atomic.Uint64, ring.Shards()),
+		// Matches the shard handlers' default MaxBatch: the router must never
+		// advertise a batch size a sub-batch could exceed (in the worst case
+		// every item hashes to one shard), or valid requests turn into 502s.
+		maxBatch:    256,
+		maxBodySize: 1 << 22,
+	}
+	for i := range s.shardHeader {
+		s.shardHeader[i] = []string{strconv.Itoa(i)}
+	}
+	return s, nil
+}
+
+// Ring returns the router's consistent-hash ring.
+func (s *ShardRouter) Ring() *Ring { return s.ring }
+
+// ServeHTTP implements http.Handler: suggestion traffic is routed by context
+// hash; /healthz, /metrics and /route answer from the router itself.
+func (s *ShardRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/suggest":
+		s.suggest(w, r)
+	case "/suggest/batch":
+		s.batch(w, r)
+	case "/healthz":
+		s.health(w)
+	case "/metrics":
+		s.metrics(w)
+	case "/route":
+		s.route(w, r)
+	case "/reload":
+		s.reload(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ShardReloadResult is one shard's slice of the router's /reload broadcast.
+type ShardReloadResult struct {
+	Shard    int             `json:"shard"`
+	Status   int             `json:"status"`
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// ShardReloadResponse is the router's POST /reload payload: the broadcast's
+// per-shard outcomes.
+type ShardReloadResponse struct {
+	Shards []ShardReloadResult `json:"shards"`
+}
+
+// reload broadcasts POST /reload (query string included, so model= and
+// force= pass through) to every shard and reports each outcome. The overall
+// status is 200 only when every shard answered 200; otherwise the worst
+// shard status (502 for transport failures) so automation notices partial
+// rollouts.
+func (s *ShardRouter) reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	path := "/reload"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	resp := ShardReloadResponse{Shards: make([]ShardReloadResult, s.ring.Shards())}
+	overall := http.StatusOK
+	for shard := range resp.Shards {
+		res := ShardReloadResult{Shard: shard}
+		status, body, err := s.tr.Exchange(shard, path, nil)
+		if err != nil {
+			res.Status = http.StatusBadGateway
+			res.Error = err.Error()
+		} else {
+			res.Status = status
+			if json.Valid(body) {
+				res.Response = json.RawMessage(body)
+			} else {
+				res.Error = string(bytes.TrimSpace(body))
+			}
+		}
+		if res.Status > overall {
+			overall = res.Status
+		}
+		resp.Shards[shard] = res
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(overall)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// suggest forwards the whole GET to the owning shard. The shard key is the
+// FNV-1a hash of the percent-decoded q values (decoded streaming, no
+// buffer), so it agrees with the batch path's hash of the same context
+// strings.
+func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	shard := s.ring.Lookup(hashRawQueryContext(r.URL.RawQuery))
+	s.requests.Add(1)
+	s.perShard[shard].Add(1)
+	w.Header()["X-Serve-Shard"] = s.shardHeader[shard]
+	s.tr.Forward(shard, w, r)
+}
+
+// shardBatchItem is the slice of a batch item the router needs for hashing;
+// unknown fields pass through untouched in the raw message.
+type shardBatchItem struct {
+	Context []string `json:"context"`
+}
+
+// batch splits a POST /suggest/batch body across shards and merges the
+// responses back into request order. Items are kept as raw JSON so the
+// router never re-encodes them; per-item took_us values come from the shards
+// and the top-level took_us is the router's wall time for the whole fan-out.
+func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBodySize))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) == 0 {
+		http.Error(w, "empty batch: requests must contain at least one context", http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) > s.maxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.maxBatch), http.StatusBadRequest)
+		return
+	}
+
+	// Partition items by owning shard, remembering original positions.
+	perShardItems := make([][]json.RawMessage, s.ring.Shards())
+	perShardIdx := make([][]int, s.ring.Shards())
+	for i, item := range req.Requests {
+		var it shardBatchItem
+		if err := json.Unmarshal(item, &it); err != nil {
+			http.Error(w, fmt.Sprintf("requests[%d]: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		shard := s.ring.Lookup(hashStringContext(it.Context))
+		perShardItems[shard] = append(perShardItems[shard], item)
+		perShardIdx[shard] = append(perShardIdx[shard], i)
+	}
+
+	// Fan the sub-batches out concurrently and merge by original index.
+	type shardReply struct {
+		shard int
+		err   error
+	}
+	results := make([]json.RawMessage, len(req.Requests))
+	replies := make(chan shardReply)
+	active := 0
+	for shard, items := range perShardItems {
+		if len(items) == 0 {
+			continue
+		}
+		active++
+		s.fanouts.Add(1)
+		s.perShard[shard].Add(uint64(len(items)))
+		go func(shard int, items []json.RawMessage, idx []int) {
+			err := s.forwardSubBatch(shard, items, idx, results)
+			replies <- shardReply{shard: shard, err: err}
+		}(shard, items, perShardIdx[shard])
+	}
+	var firstErr error
+	for ; active > 0; active-- {
+		if rep := <-replies; rep.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", rep.shard, rep.err)
+		}
+	}
+	if firstErr != nil {
+		http.Error(w, "bad gateway: "+firstErr.Error(), http.StatusBadGateway)
+		return
+	}
+	s.batches.Add(1)
+
+	var body bytes.Buffer
+	body.Grow(len(raw))
+	body.WriteString(`{"results":[`)
+	for i, res := range results {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		body.Write(res)
+	}
+	body.WriteString(`],"took_us":`)
+	// The shards already timed themselves; the router reports 0 extra rather
+	// than double-counting (clients sum per-result took_us).
+	body.WriteString("0")
+	body.WriteByte('}')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body.Bytes())
+}
+
+// forwardSubBatch sends one shard its items and scatters the returned
+// results into the merged slice. Distinct goroutines write disjoint indices,
+// so no lock is needed.
+func (s *ShardRouter) forwardSubBatch(shard int, items []json.RawMessage, idx []int, results []json.RawMessage) error {
+	var sub bytes.Buffer
+	sub.WriteString(`{"requests":[`)
+	for i, item := range items {
+		if i > 0 {
+			sub.WriteByte(',')
+		}
+		sub.Write(item)
+	}
+	sub.WriteString(`]}`)
+	status, resp, err := s.tr.Exchange(shard, "/suggest/batch", sub.Bytes())
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d: %s", status, bytes.TrimSpace(resp))
+	}
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return fmt.Errorf("decoding shard response: %w", err)
+	}
+	if len(out.Results) != len(idx) {
+		return fmt.Errorf("shard answered %d results for %d items", len(out.Results), len(idx))
+	}
+	for i, res := range out.Results {
+		results[idx[i]] = res
+	}
+	return nil
+}
+
+// ShardRouterHealth is the shard router's /healthz payload.
+type ShardRouterHealth struct {
+	Status string `json:"status"`
+	Role   string `json:"role"`
+	Shards int    `json:"shards"`
+}
+
+func (s *ShardRouter) health(w http.ResponseWriter) {
+	writeJSON(w, ShardRouterHealth{Status: "ok", Role: "router", Shards: s.ring.Shards()})
+}
+
+// ShardRouterMetrics is the shard router's /metrics payload: routed request
+// counters and the per-shard distribution (contexts routed to each replica —
+// near-even by construction of the ring).
+type ShardRouterMetrics struct {
+	Role             string   `json:"role"`
+	Shards           int      `json:"shards"`
+	Requests         uint64   `json:"requests"`
+	BatchRequests    uint64   `json:"batch_requests"`
+	BatchFanouts     uint64   `json:"batch_fanouts"`
+	ContextsPerShard []uint64 `json:"contexts_per_shard"`
+}
+
+func (s *ShardRouter) metrics(w http.ResponseWriter) {
+	m := ShardRouterMetrics{
+		Role:          "router",
+		Shards:        s.ring.Shards(),
+		Requests:      s.requests.Load(),
+		BatchRequests: s.batches.Load(),
+		BatchFanouts:  s.fanouts.Load(),
+	}
+	for i := range s.perShard {
+		m.ContextsPerShard = append(m.ContextsPerShard, s.perShard[i].Load())
+	}
+	writeJSON(w, m)
+}
+
+// RouteResponse is the /route admin payload: where a context would go,
+// without serving it.
+type RouteResponse struct {
+	Hash  string `json:"context_hash"`
+	Shard int    `json:"shard"`
+}
+
+// route reports the shard assignment for the context in the query string —
+// the debugging endpoint for "which replica owns this context?".
+func (s *ShardRouter) route(w http.ResponseWriter, r *http.Request) {
+	h := hashRawQueryContext(r.URL.RawQuery)
+	writeJSON(w, RouteResponse{Hash: fmt.Sprintf("%016x", h), Shard: s.ring.Lookup(h)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// hashRawQueryContext hashes the q values of a raw query string: each value
+// is percent-decoded ('+' is space) streaming into the hash — no buffer —
+// and terminated with a 0xFF separator so value boundaries cannot alias.
+// Undecodable escapes hash the raw bytes instead (still deterministic).
+// The result matches hashStringContext of the decoded values, so GET and
+// batch traffic for the same context agree on the owning shard.
+func hashRawQueryContext(raw string) uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(c byte) {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	for len(raw) > 0 {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		key, val := seg, ""
+		if i := strings.IndexByte(seg, '='); i >= 0 {
+			key, val = seg[:i], seg[i+1:]
+		}
+		if key != "q" {
+			continue
+		}
+		for i := 0; i < len(val); i++ {
+			switch c := val[i]; c {
+			case '+':
+				mix(' ')
+			case '%':
+				if i+2 < len(val) {
+					hi, okHi := unhexDigit(val[i+1])
+					lo, okLo := unhexDigit(val[i+2])
+					if okHi && okLo {
+						mix(hi<<4 | lo)
+						i += 2
+						continue
+					}
+				}
+				mix(c)
+			default:
+				mix(c)
+			}
+		}
+		mix(0xFF)
+	}
+	return h
+}
+
+// hashStringContext hashes a decoded context — the batch path's counterpart
+// of hashRawQueryContext.
+func hashStringContext(context []string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, q := range context {
+		for i := 0; i < len(q); i++ {
+			h ^= uint64(q[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xFF
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func unhexDigit(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

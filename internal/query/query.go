@@ -100,6 +100,63 @@ func normalizedASCII(q []byte) bool {
 	return true
 }
 
+// Hash returns a stable fingerprint of the dictionary's ID assignment: an
+// FNV-1a hash over the interned strings in ID order, length-framed so
+// ("ab","c") and ("a","bc") differ. Two dictionaries assign identical IDs to
+// identical strings iff their hashes match (modulo hash collisions), which is
+// what the serving layer's reload compatibility check and the fleet router's
+// shared-context interning rely on.
+func (d *Dict) Hash() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range d.strs {
+		n := len(s)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(n >> shift))
+			h *= prime64
+		}
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// Extends reports whether d is an ID-preserving extension of base: every ID
+// interned in base maps to the same string in d (base's string table is a
+// prefix of d's). Interned contexts, ID-keyed cache keys and sticky routing
+// hashes built against base therefore remain valid against d — the notion of
+// "dictionary compatibility" the hot-reload path enforces. Every dictionary
+// extends itself and the empty dictionary.
+func (d *Dict) Extends(base *Dict) bool {
+	if d == base {
+		return true
+	}
+	// Snapshot base first; RLocks never exclude each other so the ordering is
+	// only about not holding both locks at once.
+	base.mu.RLock()
+	prefix := base.strs
+	n := len(prefix)
+	base.mu.RUnlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.strs) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if d.strs[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // String returns the query string for id, or "" if id is out of range.
 func (d *Dict) String(id ID) string {
 	d.mu.RLock()

@@ -278,3 +278,57 @@ func TestLookupBytesMatchesLookup(t *testing.T) {
 		}
 	}
 }
+
+// TestDictHashExtends: Hash must fingerprint the ID assignment (order
+// matters, framing prevents boundary aliasing) and Extends must accept
+// exactly the ID-preserving prefix relation the reload compatibility check
+// is built on.
+func TestDictHashExtends(t *testing.T) {
+	a := NewDict()
+	a.Intern("o2")
+	a.Intern("o2 mobile")
+
+	same := NewDict()
+	same.Intern("o2")
+	same.Intern("o2 mobile")
+	if a.Hash() != same.Hash() {
+		t.Fatal("identical dictionaries hash differently")
+	}
+
+	reordered := NewDict()
+	reordered.Intern("o2 mobile")
+	reordered.Intern("o2")
+	if a.Hash() == reordered.Hash() {
+		t.Fatal("reordered IDs must change the hash")
+	}
+
+	framed := NewDict()
+	framed.Intern("o")
+	framed.Intern("2o2 mobile")
+	if a.Hash() == framed.Hash() {
+		t.Fatal("length framing failed: shifted string boundaries collide")
+	}
+
+	ext := NewDict()
+	ext.Intern("o2")
+	ext.Intern("o2 mobile")
+	ext.Intern("smtp")
+	if !ext.Extends(a) {
+		t.Fatal("superset with preserved IDs must extend the base")
+	}
+	if a.Extends(ext) {
+		t.Fatal("a shorter dictionary cannot extend its extension")
+	}
+	if !a.Extends(a) {
+		t.Fatal("a dictionary must extend itself")
+	}
+	if !a.Extends(NewDict()) {
+		t.Fatal("every dictionary extends the empty dictionary")
+	}
+	if ext.Extends(reordered) {
+		t.Fatal("permuted IDs must not count as an extension")
+	}
+	if a.Hash() == ext.Hash() {
+		t.Fatal("extension must still change the hash")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/fleet"
 )
 
 // ringSize bounds the latency sample window. 4096 recent samples give
@@ -97,25 +98,34 @@ func readRuntimeStats() RuntimeStats {
 // effectiveness, latency quantiles over the recent sample window, and
 // process allocation/GC counters.
 type MetricsResponse struct {
-	Requests        uint64       `json:"requests"`
-	SuggestRequests uint64       `json:"suggest_requests"`
-	BatchRequests   uint64       `json:"batch_requests"`
-	BatchContexts   uint64       `json:"batch_contexts"`
-	Errors          uint64       `json:"errors"`
-	Panics          uint64       `json:"panics"`
-	Reloads         uint64       `json:"reloads"`
-	Cache           cache.Stats  `json:"cache"`
-	CacheHitRate    float64      `json:"cache_hit_rate"`
-	LatencySamples  int          `json:"latency_samples"`
-	P50Micros       int64        `json:"latency_p50_us"`
-	P90Micros       int64        `json:"latency_p90_us"`
-	P99Micros       int64        `json:"latency_p99_us"`
-	ModelGeneration uint64       `json:"model_generation"`
-	KnownQueries    int          `json:"known_queries"`
-	CompiledNodes   int          `json:"compiled_nodes"`
-	Quantised       bool         `json:"compiled_quantised"`
-	BlobFormat      string       `json:"model_blob_format,omitempty"`
-	BlobBytes       int64        `json:"model_blob_bytes,omitempty"`
-	UptimeSeconds   float64      `json:"uptime_seconds"`
-	Runtime         RuntimeStats `json:"runtime"`
+	Requests        uint64        `json:"requests"`
+	SuggestRequests uint64        `json:"suggest_requests"`
+	BatchRequests   uint64        `json:"batch_requests"`
+	BatchContexts   uint64        `json:"batch_contexts"`
+	Errors          uint64        `json:"errors"`
+	Panics          uint64        `json:"panics"`
+	Reloads         uint64        `json:"reloads"`
+	Cache           cache.Stats   `json:"cache"`
+	CacheHitRate    float64       `json:"cache_hit_rate"`
+	LatencySamples  int           `json:"latency_samples"`
+	P50Micros       int64         `json:"latency_p50_us"`
+	P90Micros       int64         `json:"latency_p90_us"`
+	P99Micros       int64         `json:"latency_p99_us"`
+	ModelGeneration uint64        `json:"model_generation"`
+	KnownQueries    int           `json:"known_queries"`
+	CompiledNodes   int           `json:"compiled_nodes"`
+	Quantised       bool          `json:"compiled_quantised"`
+	BlobFormat      string        `json:"model_blob_format,omitempty"`
+	BlobBytes       int64         `json:"model_blob_bytes,omitempty"`
+	Fleet           *FleetMetrics `json:"fleet,omitempty"`
+	UptimeSeconds   float64       `json:"uptime_seconds"`
+	Runtime         RuntimeStats  `json:"runtime"`
+}
+
+// FleetMetrics is the fleet-mode slice of /metrics: per-arm traffic share,
+// request counts and latency quantiles (the raw material for an offline
+// NDCG-style comparison of logged answers per arm), plus shadow divergence.
+type FleetMetrics struct {
+	Arms    []fleet.ArmStats    `json:"arms"`
+	Shadows []fleet.ShadowStats `json:"shadows,omitempty"`
 }

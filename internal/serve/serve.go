@@ -14,7 +14,18 @@
 //	POST /suggest/batch                       many contexts in one request
 //	GET  /healthz                             liveness + model/blob provenance
 //	GET  /metrics                             serving counters and latency quantiles
-//	POST /reload                              hot-swap the model (when configured)
+//	POST /reload                              hot-swap the model (?model=<name> in
+//	                                          fleet mode, &force=1 to override the
+//	                                          409 dictionary-compatibility check)
+//	GET  /models                              model registry, roles, divergence
+//	GET  /route                               which arm/shard owns a context
+//
+// With Options.Fleet set the handler serves a multi-model fleet
+// (internal/fleet): suggestion traffic is split across registry slots by
+// sticky weighted hash of the interned context, shadow arms are scored off
+// the request path, and the serving arm is echoed in X-Serve-Arm. The fleet
+// hot path carries the same zero-allocation guarantee (CI gates
+// BenchmarkRouteAB at 0 allocs/op).
 //
 // Invariants: the GET /suggest hot path performs zero heap allocations at
 // steady state — the query string is percent-decoded into pooled buffers
@@ -44,6 +55,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/query"
 )
 
@@ -96,6 +108,8 @@ type Health struct {
 	KnownQueries  int    `json:"known_queries"`
 	TrainSessions uint64 `json:"train_sessions"`
 	Generation    uint64 `json:"model_generation"`
+	Arms          int    `json:"fleet_arms,omitempty"`
+	ShadowModels  int    `json:"fleet_shadow_models,omitempty"`
 	Compiled      bool   `json:"compiled"`
 	CompiledNodes int    `json:"compiled_nodes,omitempty"`
 	Quantised     bool   `json:"compiled_quantised,omitempty"`
@@ -103,11 +117,14 @@ type Health struct {
 	LoadVersion   string `json:"model_load_version,omitempty"`
 	BlobFormat    string `json:"model_blob_format,omitempty"`
 	BlobBytes     int64  `json:"model_blob_bytes,omitempty"`
+	MapAdvice     string `json:"model_map_advice,omitempty"`
 	LoadMicros    int64  `json:"model_load_us,omitempty"`
 }
 
-// ReloadResponse is the POST /reload payload.
+// ReloadResponse is the POST /reload payload. Model names the reloaded
+// registry slot in fleet mode and is empty in single-model mode.
 type ReloadResponse struct {
+	Model        string `json:"model,omitempty"`
 	Generation   uint64 `json:"model_generation"`
 	KnownQueries int    `json:"known_queries"`
 	TookMicros   int64  `json:"took_us"`
@@ -132,6 +149,13 @@ type Options struct {
 	// ReloadFunc, when set, enables POST /reload: it must return a freshly
 	// loaded recommender. Handler serialises calls.
 	ReloadFunc func() (*core.Recommender, error)
+	// Fleet, when set, routes every suggestion request through a multi-model
+	// router (A/B split, shadow scoring) instead of the single-model state:
+	// the handler serves from the router's registry slots and its shared
+	// slot-keyed cache, /models and /route become live, and /reload reloads
+	// by model name. The rec passed to New still answers /healthz provenance
+	// until the champion slot swaps. See internal/fleet.
+	Fleet *fleet.Router
 }
 
 func (o Options) withDefaults() Options {
@@ -163,18 +187,27 @@ type Handler struct {
 	opts     Options
 	state    atomic.Pointer[modelState]
 	cache    *cache.SuggestCache
+	fleet    *fleet.Router // nil in single-model mode
 	chain    http.Handler
 	m        metrics
 	reloadMu sync.Mutex
 	start    time.Time
 }
 
-// New builds a Handler serving rec with the given options.
+// New builds a Handler serving rec with the given options. With Options.Fleet
+// set, rec should be the router's champion model (it answers the single-model
+// accessors); suggestion traffic is then routed across the fleet's registry
+// slots and cached in the registry's shared slot-keyed cache.
 func New(rec *core.Recommender, opts Options) *Handler {
 	h := &Handler{
 		opts:  opts.withDefaults(),
-		cache: cache.NewSuggestCache(opts.CacheCapacity),
+		fleet: opts.Fleet,
 		start: time.Now(),
+	}
+	if h.fleet != nil {
+		h.cache = h.fleet.Registry().Cache()
+	} else {
+		h.cache = cache.NewSuggestCache(opts.CacheCapacity)
 	}
 	h.state.Store(&modelState{rec: rec, gen: 1})
 	h.chain = h.instrument(http.HandlerFunc(h.route))
@@ -195,6 +228,10 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		h.metricsHandler(w, r)
 	case "/reload":
 		h.reload(w, r)
+	case "/models":
+		h.models(w, r)
+	case "/route":
+		h.routeInfo(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -213,7 +250,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Swap atomically replaces the served model, bumps the generation and purges
 // the result cache. In-flight requests finish against the model they loaded;
-// no traffic is dropped. Returns the new generation.
+// no traffic is dropped. Returns the new generation. Unlike Reload, Swap
+// performs no dictionary compatibility check: the caller owns the model and
+// has decided.
 func (h *Handler) Swap(rec *core.Recommender) uint64 {
 	h.reloadMu.Lock()
 	defer h.reloadMu.Unlock()
@@ -234,7 +273,17 @@ func (h *Handler) swapLocked(rec *core.Recommender) uint64 {
 
 // Reload invokes the configured ReloadFunc and swaps the result in. It is
 // the shared implementation of POST /reload and cmd/serve's SIGHUP path.
-func (h *Handler) Reload() (uint64, error) {
+// The replacement model's dictionary must be an ID-preserving extension of
+// the served one (query.Dict.Extends) — a permuted or unrelated dictionary
+// would let ID-keyed state built against the old model silently misroute, so
+// it is rejected with fleet.ErrDictIncompatible (HTTP 409 on the /reload
+// endpoint). ReloadForce(true) is the operator override for deliberate full
+// vocabulary replacements.
+func (h *Handler) Reload() (uint64, error) { return h.ReloadForce(false) }
+
+// ReloadForce is Reload with an explicit escape hatch: force true skips the
+// dictionary compatibility check.
+func (h *Handler) ReloadForce(force bool) (uint64, error) {
 	if h.opts.ReloadFunc == nil {
 		return 0, errors.New("serve: no ReloadFunc configured")
 	}
@@ -243,6 +292,13 @@ func (h *Handler) Reload() (uint64, error) {
 	rec, err := h.opts.ReloadFunc()
 	if err != nil {
 		return 0, err
+	}
+	if old := h.state.Load(); !force && !rec.Dict().Extends(old.rec.Dict()) {
+		return 0, &fleet.ErrDictIncompatible{
+			Slot:    "default",
+			OldHash: old.rec.Dict().Hash(),
+			NewHash: rec.Dict().Hash(),
+		}
 	}
 	return h.swapLocked(rec), nil
 }
@@ -397,6 +453,10 @@ func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameters (one per context query, oldest first)", http.StatusBadRequest)
 		return
 	}
+	if h.fleet != nil {
+		h.suggestFleet(w, b, n)
+		return
+	}
 	st := h.state.Load()
 	start := time.Now()
 	b.ctx = st.rec.AppendContextBytes(b.ctx[:0], b.raw)
@@ -458,7 +518,11 @@ func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
 		bb.out = append(bb.out, nil)
 	}
 	batchStart := time.Now()
-	h.cache.RecommendBatch(st.gen, st.rec, bb.contexts, bb.ns, bb.out)
+	if h.fleet != nil {
+		h.recommendBatchFleet(bb)
+	} else {
+		h.cache.RecommendBatch(st.gen, st.rec, bb.contexts, bb.ns, bb.out)
+	}
 	elapsed := time.Since(batchStart).Microseconds()
 	perCtx := elapsed / int64(len(req.Requests))
 	for range req.Requests {
@@ -502,39 +566,60 @@ func putBatchScratch(bb *batchScratch) {
 	batchScratchPool.Put(bb)
 }
 
-func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+// servingState returns the request-path (model, generation) pair health and
+// metrics should describe: the champion slot in fleet mode, the single-model
+// state otherwise.
+func (h *Handler) servingState() (*core.Recommender, uint64) {
+	if h.fleet != nil {
+		st := h.fleet.Arm(0).Slot().State()
+		return st.Rec, st.Gen
+	}
 	st := h.state.Load()
+	return st.rec, st.gen
+}
+
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	rec, gen := h.servingState()
 	resp := Health{
 		Status:        "ok",
-		KnownQueries:  st.rec.Dict().Len(),
-		TrainSessions: st.rec.Stats().Sessions,
-		Generation:    st.gen,
+		KnownQueries:  rec.Dict().Len(),
+		TrainSessions: rec.Stats().Sessions,
+		Generation:    gen,
 	}
-	if cm := st.rec.CompiledModel(); cm != nil {
+	if h.fleet != nil {
+		resp.Arms = len(h.fleet.Arms())
+		resp.ShadowModels = len(h.fleet.ShadowSlots())
+	}
+	if cm := rec.CompiledModel(); cm != nil {
 		resp.Compiled = true
 		resp.CompiledNodes = cm.Nodes()
 		resp.Quantised = cm.Quantised()
 	}
-	li := st.rec.LoadInfo()
+	li := rec.LoadInfo()
 	resp.LoadMode = li.Mode
 	resp.LoadVersion = li.Version
 	resp.BlobFormat = li.Format
 	resp.BlobBytes = li.BlobBytes
+	resp.MapAdvice = li.MapAdvice
 	resp.LoadMicros = li.Duration.Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
-	st := h.state.Load()
+	rec, gen := h.servingState()
 	cs := h.cache.Stats()
 	sorted := h.m.lat.snapshot()
 	compiledNodes := 0
 	quantised := false
-	if cm := st.rec.CompiledModel(); cm != nil {
+	if cm := rec.CompiledModel(); cm != nil {
 		compiledNodes = cm.Nodes()
 		quantised = cm.Quantised()
 	}
-	li := st.rec.LoadInfo()
+	var fm *FleetMetrics
+	if h.fleet != nil {
+		fm = &FleetMetrics{Arms: h.fleet.ArmStats(), Shadows: h.fleet.ShadowStats()}
+	}
+	li := rec.LoadInfo()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Requests:        h.m.requests.Load(),
 		SuggestRequests: h.m.suggests.Load(),
@@ -549,30 +634,41 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		P50Micros:       quantile(sorted, 0.50),
 		P90Micros:       quantile(sorted, 0.90),
 		P99Micros:       quantile(sorted, 0.99),
-		ModelGeneration: st.gen,
-		KnownQueries:    st.rec.Dict().Len(),
+		ModelGeneration: gen,
+		KnownQueries:    rec.Dict().Len(),
 		CompiledNodes:   compiledNodes,
 		Quantised:       quantised,
 		BlobFormat:      li.Format,
 		BlobBytes:       li.BlobBytes,
+		Fleet:           fm,
 		UptimeSeconds:   time.Since(h.start).Seconds(),
 		Runtime:         readRuntimeStats(),
 	})
 }
 
+// reload serves POST /reload. Query parameters: model=<name> selects a fleet
+// registry slot (required in fleet mode), force=1 skips the dictionary
+// compatibility check. An incompatible dictionary answers 409 Conflict with
+// both dictionary hashes so the operator can decide whether to force.
 func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	force := q.Get("force") == "1" || q.Get("force") == "true"
+	start := time.Now()
+	if h.fleet != nil {
+		h.reloadFleet(w, q.Get("model"), force, start)
 		return
 	}
 	if h.opts.ReloadFunc == nil {
 		http.Error(w, "reload not configured", http.StatusNotImplemented)
 		return
 	}
-	start := time.Now()
-	gen, err := h.Reload()
+	gen, err := h.ReloadForce(force)
 	if err != nil {
-		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+		writeReloadError(w, err)
 		return
 	}
 	st := h.state.Load()
@@ -581,6 +677,33 @@ func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
 		KnownQueries: st.rec.Dict().Len(),
 		TookMicros:   time.Since(start).Microseconds(),
 	})
+}
+
+// DictConflict is the 409 payload of a reload whose replacement model's
+// dictionary is not an ID-preserving extension of the served one.
+type DictConflict struct {
+	Error       string `json:"error"`
+	Model       string `json:"model"`
+	OldDictHash string `json:"old_dict_hash"`
+	NewDictHash string `json:"new_dict_hash"`
+	Hint        string `json:"hint"`
+}
+
+// writeReloadError maps reload failures to statuses: dictionary conflicts
+// are 409 with both hashes, everything else 500.
+func writeReloadError(w http.ResponseWriter, err error) {
+	var dictErr *fleet.ErrDictIncompatible
+	if errors.As(err, &dictErr) {
+		writeJSON(w, http.StatusConflict, DictConflict{
+			Error:       "incompatible dictionary: interned contexts would be misrouted",
+			Model:       dictErr.Slot,
+			OldDictHash: fmt.Sprintf("%016x", dictErr.OldHash),
+			NewDictHash: fmt.Sprintf("%016x", dictErr.NewHash),
+			Hint:        "retrain with the served dictionary as a prefix, or POST /reload?force=1 to replace the vocabulary deliberately",
+		})
+		return
+	}
+	http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -17,9 +17,31 @@ import (
 	"repro/internal/query"
 )
 
-// altRecommender trains a second model over a different vocabulary, used to
+// altRecommender trains a second model whose dictionary extends the test
+// recommender's (same base IDs, new vocabulary appended) but whose training
+// data covers only the new vocabulary — a compatible retrain, used to
 // observe hot reloads taking effect.
 func altRecommender(t testing.TB) *core.Recommender {
+	t.Helper()
+	d := query.NewDict()
+	d.Intern("o2")
+	d.Intern("o2 mobile")
+	d.Intern("o2 mobile phones")
+	a, b := d.Intern("smtp"), d.Intern("pop3")
+	var sessions []query.Seq
+	for i := 0; i < 10; i++ {
+		sessions = append(sessions, query.Seq{a, b})
+	}
+	cfg := core.DefaultConfig()
+	cfg.Epsilons = []float64{0.0, 0.05}
+	cfg.Mixture.TrainSample = 50
+	cfg.Mixture.NewtonIters = 3
+	return core.TrainFromSessions(d, sessions, cfg)
+}
+
+// incompatibleRecommender trains a model whose dictionary permutes the base
+// IDs — the reload the compatibility check must refuse.
+func incompatibleRecommender(t testing.TB) *core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	a, b := d.Intern("smtp"), d.Intern("pop3")
@@ -286,7 +308,7 @@ func TestReloadSwapsWithoutDroppingRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || rl.Generation != 2 || rl.KnownQueries != 2 {
+	if resp.StatusCode != http.StatusOK || rl.Generation != 2 || rl.KnownQueries != 5 {
 		t.Fatalf("reload response = %d %+v", resp.StatusCode, rl)
 	}
 	close(stop)
@@ -409,7 +431,7 @@ func TestHealthGeneration(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&hp); err != nil {
 		t.Fatal(err)
 	}
-	if hp.Generation != 2 || hp.KnownQueries != 2 {
+	if hp.Generation != 2 || hp.KnownQueries != 5 {
 		t.Fatalf("health after reload = %+v", hp)
 	}
 }
