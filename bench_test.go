@@ -131,7 +131,7 @@ func BenchmarkFig8Accuracy(b *testing.B) {
 	for i, name := range panel.Models {
 		idx[name] = i
 	}
-	b.ReportMetric(panel.NDCG[idx["MVMM"]][1]-panel.NDCG[idx["Adj."]][1], "mvmm-minus-adj-len2")
+	b.ReportMetric(panel.NDCG[idx["MVMM"]][1]-panel.NDCG[idx["Adjacency"]][1], "mvmm-minus-adj-len2")
 }
 
 // BenchmarkFig9MVMMvsVMM evaluates the MVMM-vs-VMM NDCG@5 panel and reports
@@ -339,7 +339,7 @@ func BenchmarkSeqKey(b *testing.B) {
 
 var (
 	serveBenchOnce sync.Once
-	serveBenchRec  *core.Recommender
+	serveBenchRec  core.Recommender
 	serveBenchCtxs [][]string
 )
 
@@ -347,7 +347,7 @@ var (
 // renders a pool of realistic string contexts for the serving benchmarks.
 // The mixture uses the paper's full eleven-component ε set — the model the
 // deployment claims are about, and the one the compiled single PST merges.
-func serveBenchSetup(b *testing.B) (*core.Recommender, [][]string) {
+func serveBenchSetup(b *testing.B) (core.Recommender, [][]string) {
 	b.Helper()
 	c, _ := benchSetup(b)
 	serveBenchOnce.Do(func() {
@@ -380,7 +380,7 @@ func BenchmarkSuggestUncached(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := int(seq.Add(1)) * 31
 		for pb.Next() {
-			rec.Recommend(ctxs[i%len(ctxs)], 5)
+			core.Recommend(rec, ctxs[i%len(ctxs)], 5)
 			i++
 		}
 	})
@@ -421,7 +421,7 @@ func BenchmarkRecommendUncachedInterpreted(b *testing.B) {
 	if len(ctxs) == 0 {
 		b.Skip("no contexts")
 	}
-	mix := rec.Model()
+	mix := rec.(*core.Engine).Model()
 	var seq atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -485,6 +485,62 @@ func BenchmarkPredictQuantised(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = qm.AppendPredictions(buf[:0], ctxs[i%len(ctxs)], 5)
+	}
+}
+
+// BenchmarkPredictHMM measures the HMM family arm's serving primitive — the
+// pooled-scratch forward pass behind PredictInto — on the shared corpus.
+// allocs/op must stay 0: the Predictor contract every fleet arm advertises
+// through Shape().ZeroAlloc is benchmark-gated here.
+func BenchmarkPredictHMM(b *testing.B) {
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	cfg := hmm.DefaultConfig(c.Vocab())
+	cfg.States = 8
+	cfg.Iterations = 4
+	m, err := hmm.Train(c.TrainAgg, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]model.Prediction, 0, 8)
+	for _, ctx := range ctxs { // warm the scratch pool to steady state
+		buf = m.PredictInto(buf[:0], ctx, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.PredictInto(buf[:0], ctxs[i%len(ctxs)], 5)
+	}
+}
+
+// BenchmarkRerankPairwise measures the optional second-stage pairwise rerank
+// on a champion top-5 answer — the per-request cost of enabling -rerank on a
+// fleet arm. allocs/op must stay 0 (pooled blend scratch, recycled dst).
+func BenchmarkRerankPairwise(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	adj := pairwise.NewAdjacency(c.TrainAgg, c.Vocab())
+	rk, err := fleet.NewPairwiseReranker(adj, rec.Dict(), fleet.DefaultRerankLambda)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-compute the champion answers being reranked (the rerank step's
+	// input is a cache-owned immutable slice on the serving path).
+	recs := make([][]core.Suggestion, len(ctxs))
+	for i, ctx := range ctxs {
+		recs[i] = core.RecommendIDs(rec, ctx, 5)
+	}
+	dst := make([]core.Suggestion, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ctxs)
+		dst = rk.Rerank(ctxs[j], recs[j], dst[:0])
 	}
 }
 
@@ -824,7 +880,7 @@ func coldStartSetup(b *testing.B) (v2, v3, v4 string) {
 			if err != nil {
 				return err
 			}
-			if err := rec.SaveAs(f, version); err != nil {
+			if err := rec.(*core.Engine).SaveAs(f, version); err != nil {
 				f.Close()
 				return err
 			}

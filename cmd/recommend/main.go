@@ -51,7 +51,7 @@ func main() {
 			continue
 		}
 		context = append(context, q)
-		suggestions := rec.Recommend(context, *topN)
+		suggestions := core.Recommend(rec, context, *topN)
 		if len(suggestions) == 0 {
 			fmt.Printf("(no suggestions for context of %d queries)\n", len(context))
 			continue

@@ -64,18 +64,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/pairwise"
 	"repro/internal/serve"
 )
 
 // loadOpts carries the flag-gated mmap paging hints into every model load.
 var loadOpts core.LoadOptions
 
-// loadModel loads through core.LoadPathWith so V003/V004 model files take
-// the mmap fast path: the compiled serving form is mapped, not decoded,
-// which makes cold starts (and SIGHUP reloads) near-instant and shares trie
-// pages across server processes.
-func loadModel(path string) (*core.Recommender, error) {
-	rec, err := core.LoadPathWith(path, loadOpts)
+// loadModel loads through core.LoadAnyPath so every container format is
+// addressable by file path: V003/V004 MVMM files take the mmap fast path
+// (the compiled serving form is mapped, not decoded, which makes cold starts
+// and SIGHUP reloads near-instant and shares trie pages across server
+// processes), and QRECF001 family containers (HMM, cluster, pairwise) load
+// as Predictor-backed arms.
+func loadModel(path string) (core.Recommender, error) {
+	rec, err := core.LoadAnyPath(path, loadOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +99,7 @@ func main() {
 		role      = flag.String("role", "serve", "process role: serve, shard (replica behind a router) or router (consistent-hash fan-out)")
 		modelPath = flag.String("model", "model.bin", "model file from cmd/train (single-model serving, or the shared model of a loopback ring)")
 		arms      = flag.String("arms", "", "fleet arms 'name=path[:weight],...': first arm is the champion, weight 0 = shadow-scored only (default weight 1)")
+		rerank    = flag.String("rerank", "", "pairwise rerank 'path[:lambda]': blend the champion's top-N with an adjacency model (QRECF001, fleet mode only)")
 		shards    = flag.String("shards", "", "router backends: an integer N for an in-process loopback ring over -model, or comma-separated shard base URLs")
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default)")
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -113,7 +117,7 @@ func main() {
 	var onHUP func()
 	switch *role {
 	case "serve", "shard":
-		h := buildServeHandler(*modelPath, *arms, *topN, *cacheCap, *quiet)
+		h := buildServeHandler(*modelPath, *arms, *rerank, *topN, *cacheCap, *quiet)
 		handler = h
 		onHUP = h.reloadAll
 	case "router":
@@ -195,17 +199,20 @@ func (p *serveProcess) reloadAll() {
 
 // buildServeHandler assembles the serve/shard role: single-model serving, or
 // a fleet registry + router when -arms is given.
-func buildServeHandler(modelPath, arms string, topN, cacheCap int, quiet bool) *serveProcess {
+func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet bool) *serveProcess {
 	opts := serve.Options{DefaultN: topN, CacheCapacity: cacheCap}
 	if !quiet {
 		opts.Logger = log.Default()
 	}
 	if arms == "" {
+		if rerank != "" {
+			log.Fatal("-rerank needs -arms (reranking is a fleet arm hook)")
+		}
 		rec, err := loadModel(modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.ReloadFunc = func() (*core.Recommender, error) { return loadModel(modelPath) }
+		opts.ReloadFunc = func() (core.Recommender, error) { return loadModel(modelPath) }
 		logModelShape("", rec)
 		return &serveProcess{Handler: serve.New(rec, opts)}
 	}
@@ -215,14 +222,14 @@ func buildServeHandler(modelPath, arms string, topN, cacheCap int, quiet bool) *
 		log.Fatal(err)
 	}
 	reg := fleet.NewRegistry(cacheCap)
-	var champion *core.Recommender
+	var champion core.Recommender
 	for _, spec := range specs {
 		rec, err := loadModel(spec.path)
 		if err != nil {
 			log.Fatalf("arm %q: %v", spec.name, err)
 		}
 		path := spec.path
-		if _, err := reg.Add(spec.name, rec, func() (*core.Recommender, error) { return loadModel(path) }); err != nil {
+		if _, err := reg.Add(spec.name, rec, func() (core.Recommender, error) { return loadModel(path) }); err != nil {
 			log.Fatal(err)
 		}
 		if champion == nil {
@@ -244,8 +251,47 @@ func buildServeHandler(modelPath, arms string, topN, cacheCap int, quiet bool) *
 	for _, s := range rt.ShadowSlots() {
 		log.Printf("fleet shadow %q: scored asynchronously, serves no traffic", s.Name())
 	}
+	if rerank != "" {
+		rk, err := buildReranker(rerank, champion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		championArm := rt.Arms()[0].Slot().Name()
+		if err := rt.SetRerank(championArm, rk); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet arm %q: second-stage rerank %s", championArm, rk.Name())
+	}
 	opts.Fleet = rt
 	return &serveProcess{Handler: serve.New(champion, opts), fleetRouter: rt}
+}
+
+// buildReranker decodes -rerank ('path[:lambda]') and loads the adjacency
+// model behind it. The adjacency model must have been trained against an
+// ID-preserving extension of the champion's dictionary, so the interned
+// context the fleet routes on is valid inside the adjacency matrix too.
+func buildReranker(spec string, champion core.Recommender) (fleet.Reranker, error) {
+	path, lambda := spec, 0.0
+	if p, l, ok := strings.Cut(spec, ":"); ok {
+		v, err := strconv.ParseFloat(l, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed -rerank lambda in %q: %v", spec, err)
+		}
+		path, lambda = p, v
+	}
+	rec, err := loadModel(path)
+	if err != nil {
+		return nil, fmt.Errorf("-rerank %s: %v", path, err)
+	}
+	adj, ok := rec.Predictor().(*pairwise.Adjacency)
+	if !ok {
+		return nil, fmt.Errorf("-rerank %s: not a pairwise adjacency model (train with cmd/train -family adjacency)", path)
+	}
+	if !rec.Dict().Extends(champion.Dict()) {
+		return nil, fmt.Errorf("-rerank %s: adjacency dictionary (hash %x) does not extend the champion's (hash %x)",
+			path, rec.Dict().Hash(), champion.Dict().Hash())
+	}
+	return fleet.NewPairwiseReranker(adj, rec.Dict(), lambda)
 }
 
 // buildRouterHandler assembles the router role: a consistent-hash ring over
@@ -276,7 +322,7 @@ func buildRouterHandler(shards string, vnodes int, modelPath string, topN, cache
 				// POST /reload on the router broadcasts here, so a loopback
 				// ring hot-reloads like any other deployment. Each partition
 				// remaps the file independently; pages stay shared.
-				ReloadFunc: func() (*core.Recommender, error) { return loadModel(modelPath) },
+				ReloadFunc: func() (core.Recommender, error) { return loadModel(modelPath) },
 			})
 		}
 		router, err := fleet.NewShardRouter(fleet.NewRing(n, vnodes), fleet.NewLoopbackTransport(handlers...))
@@ -352,7 +398,7 @@ func parseArms(s string) ([]armSpec, error) {
 
 // logModelShape logs the loaded model's serving shape (the compiled-PST line
 // operators grep for).
-func logModelShape(name string, rec *core.Recommender) {
+func logModelShape(name string, rec core.Recommender) {
 	label := ""
 	if name != "" {
 		label = fmt.Sprintf(" %q", name)
@@ -364,6 +410,12 @@ func logModelShape(name string, rec *core.Recommender) {
 		}
 		log.Printf("model%s loaded: %d known queries, %s compiled PST with %d nodes / %d followers (depth %d, %d components)",
 			label, rec.Dict().Len(), form, cm.Nodes(), cm.Followers(), cm.Depth(), cm.Components())
+		return
+	}
+	if p := rec.Predictor(); p != nil {
+		shape := p.Shape()
+		log.Printf("model%s loaded: %d known queries, %s family model (%s, %d states, depth %d)",
+			label, rec.Dict().Len(), shape.Family, shape.Label, shape.States, shape.Depth)
 		return
 	}
 	log.Printf("model%s loaded: %d known queries, serving interpreted mixture (compile unavailable)",

@@ -48,7 +48,7 @@ func main() {
 				ctx[j] = corpus.Dict.String(s.Queries[j])
 			}
 			start := time.Now()
-			suggestions := rec.Recommend(ctx, 5)
+			suggestions := core.Recommend(rec, ctx, 5)
 			latency += time.Since(start)
 			predictions++
 			if len(suggestions) == 0 {

@@ -52,7 +52,7 @@ func main() {
 	context := []string{root.Typo} // user starts with a misspelling
 	for step := 0; step < 3; step++ {
 		fmt.Printf("session so far: %v\n", context)
-		suggestions := rec.Recommend(context, 5)
+		suggestions := core.Recommend(rec, context, 5)
 		if len(suggestions) == 0 {
 			fmt.Println("  (no suggestions)")
 			break

@@ -121,7 +121,7 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
-func testRecommender(t testing.TB) *core.Recommender {
+func testRecommender(t testing.TB) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	a, b, c := d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")
@@ -142,7 +142,7 @@ func TestSuggestCacheEquivalence(t *testing.T) {
 	rec := testRecommender(t)
 	sc := NewSuggestCache(128)
 	ctx := []string{"o2"}
-	want := rec.Recommend(ctx, 5)
+	want := core.Recommend(rec, ctx, 5)
 
 	miss := sc.Recommend(1, rec, ctx, 5)
 	hit := sc.Recommend(1, rec, ctx, 5)
@@ -201,7 +201,7 @@ func TestSuggestCacheEmptyContext(t *testing.T) {
 func TestSuggestCacheConcurrent(t *testing.T) {
 	rec := testRecommender(t)
 	sc := NewSuggestCache(64)
-	want := rec.Recommend([]string{"o2"}, 5)
+	want := core.Recommend(rec, []string{"o2"}, 5)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -229,7 +229,7 @@ func TestSuggestCacheConcurrent(t *testing.T) {
 func TestSuggestCacheSlotIsolation(t *testing.T) {
 	rec := testRecommender(t)
 	sc := NewSuggestCache(128)
-	ctx := rec.InternContext([]string{"o2"})
+	ctx := core.InternContext(rec.Dict(), []string{"o2"})
 
 	a := sc.RecommendSlot(1, 1, rec, ctx, 5)
 	if h := sc.Stats().Hits; h != 0 {
@@ -267,8 +267,8 @@ func TestSuggestCacheSlotIsolation(t *testing.T) {
 func TestSuggestCacheBatchSlot(t *testing.T) {
 	rec := testRecommender(t)
 	sc := NewSuggestCache(128)
-	ctxA := rec.InternContext([]string{"o2"})
-	ctxB := rec.InternContext([]string{"o2", "o2 mobile"})
+	ctxA := core.InternContext(rec.Dict(), []string{"o2"})
+	ctxB := core.InternContext(rec.Dict(), []string{"o2", "o2 mobile"})
 
 	warm := sc.RecommendSlot(3, 1, rec, ctxA, 5)
 	out := make([][]core.Suggestion, 3)

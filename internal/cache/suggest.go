@@ -7,7 +7,7 @@ import (
 	"repro/internal/query"
 )
 
-// SuggestCache fronts core.Recommender.Recommend with a sharded LRU keyed
+// SuggestCache fronts core.Recommender suggestions with a sharded LRU keyed
 // on the interned context IDs (not the raw strings), the requested
 // suggestion count, a caller-supplied model generation, and a slot
 // identifier. Keying on IDs means spelling-normalised duplicates ("O2
@@ -55,14 +55,14 @@ func NewSuggestCache(capacity int) *SuggestCache {
 }
 
 // Recommend answers context with up to n suggestions, consulting the cache
-// before delegating to rec.RecommendIDs. gen is the serving layer's model
+// before delegating to core.RecommendIDs. gen is the serving layer's model
 // generation: bump it on every hot reload so stale entries can never match.
 // Hits are allocation-free: the key is built in a pooled buffer and probed
 // with the cache's byte-key lookup, never materialised as a string.
-func (sc *SuggestCache) Recommend(gen uint64, rec *core.Recommender, context []string, n int) []core.Suggestion {
+func (sc *SuggestCache) Recommend(gen uint64, rec core.Recommender, context []string, n int) []core.Suggestion {
 	buf := sc.bufs.Get().(*suggestBuf)
 	defer sc.putBuf(buf)
-	buf.ctx = rec.AppendContext(buf.ctx[:0], context)
+	buf.ctx = core.AppendContext(rec.Dict(), buf.ctx[:0], context)
 	if len(buf.ctx) == 0 {
 		return nil
 	}
@@ -72,14 +72,14 @@ func (sc *SuggestCache) Recommend(gen uint64, rec *core.Recommender, context []s
 // RecommendInterned is Recommend for an already-interned context — the HTTP
 // fast path, which interns once per request and reuses the IDs for both the
 // cache key and the prediction.
-func (sc *SuggestCache) RecommendInterned(gen uint64, rec *core.Recommender, ctx query.Seq, n int) []core.Suggestion {
+func (sc *SuggestCache) RecommendInterned(gen uint64, rec core.Recommender, ctx query.Seq, n int) []core.Suggestion {
 	return sc.RecommendSlot(0, gen, rec, ctx, n)
 }
 
 // RecommendSlot is RecommendInterned inside a named registry slot: the slot
 // ID joins the cache key, so a fleet of models shares one LRU without any
 // cross-model key collisions. (gen is the slot's own generation counter.)
-func (sc *SuggestCache) RecommendSlot(slot uint32, gen uint64, rec *core.Recommender, ctx query.Seq, n int) []core.Suggestion {
+func (sc *SuggestCache) RecommendSlot(slot uint32, gen uint64, rec core.Recommender, ctx query.Seq, n int) []core.Suggestion {
 	if len(ctx) == 0 {
 		return nil
 	}
@@ -96,12 +96,12 @@ func (sc *SuggestCache) putBuf(buf *suggestBuf) {
 
 // recommendKeyed runs the keyed lookup-or-compute. The key string is only
 // allocated on a miss, where it is retained by the LRU.
-func (sc *SuggestCache) recommendKeyed(slot uint32, gen uint64, rec *core.Recommender, buf *suggestBuf, ctx query.Seq, n int) []core.Suggestion {
+func (sc *SuggestCache) recommendKeyed(slot uint32, gen uint64, rec core.Recommender, buf *suggestBuf, ctx query.Seq, n int) []core.Suggestion {
 	buf.key = appendSuggestKey(buf.key[:0], slot, gen, ctx, n)
 	if v, ok := sc.lru.GetBytes(buf.key); ok {
 		return v
 	}
-	out := rec.RecommendIDs(ctx, n)
+	out := core.RecommendIDs(rec, ctx, n)
 	sc.lru.Put(string(buf.key), out)
 	return out
 }
@@ -110,7 +110,7 @@ func (sc *SuggestCache) recommendKeyed(slot uint32, gen uint64, rec *core.Recomm
 // must be len(contexts) long). Hits and empty contexts are resolved from the
 // cache exactly like Recommend; all misses are then scored through one
 // shared-scratch batched trie descent (core.RecommendBatchIDs) and inserted.
-func (sc *SuggestCache) RecommendBatch(gen uint64, rec *core.Recommender, contexts [][]string, ns []int, out [][]core.Suggestion) {
+func (sc *SuggestCache) RecommendBatch(gen uint64, rec core.Recommender, contexts [][]string, ns []int, out [][]core.Suggestion) {
 	buf := sc.bufs.Get().(*suggestBuf)
 	defer sc.putBuf(buf)
 	var (
@@ -121,7 +121,7 @@ func (sc *SuggestCache) RecommendBatch(gen uint64, rec *core.Recommender, contex
 	)
 	for i, context := range contexts {
 		out[i] = nil
-		buf.ctx = rec.AppendContext(buf.ctx[:0], context)
+		buf.ctx = core.AppendContext(rec.Dict(), buf.ctx[:0], context)
 		if len(buf.ctx) == 0 {
 			continue
 		}
@@ -152,7 +152,7 @@ func (sc *SuggestCache) RecommendBatch(gen uint64, rec *core.Recommender, contex
 // come from the shared LRU under the slot's key space; all misses are scored
 // through one batched trie descent against rec and inserted. ctxs entries
 // may live in recycled buffers: the miss path clones before retaining.
-func (sc *SuggestCache) RecommendBatchSlot(slot uint32, gen uint64, rec *core.Recommender, ctxs []query.Seq, ns []int, out [][]core.Suggestion) {
+func (sc *SuggestCache) RecommendBatchSlot(slot uint32, gen uint64, rec core.Recommender, ctxs []query.Seq, ns []int, out [][]core.Suggestion) {
 	buf := sc.bufs.Get().(*suggestBuf)
 	defer sc.putBuf(buf)
 	var (

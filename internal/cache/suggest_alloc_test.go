@@ -25,7 +25,7 @@ func TestSuggestCacheHitZeroAllocs(t *testing.T) {
 		t.Fatalf("cache hit allocates %.2f times per op, want 0", allocs)
 	}
 
-	ictx := rec.InternContext(ctx)
+	ictx := core.InternContext(rec.Dict(), ctx)
 	allocs = testing.AllocsPerRun(200, func() {
 		if got := sc.RecommendInterned(1, rec, ictx, 5); len(got) == 0 {
 			t.Fatal("interned hit returned nothing")
@@ -53,7 +53,7 @@ func TestRecommendBatchEquivalence(t *testing.T) {
 	out := make([][]core.Suggestion, len(contexts))
 	sc.RecommendBatch(1, rec, contexts, ns, out)
 	for i := range contexts {
-		want := rec.RecommendIDs(rec.InternContext(contexts[i]), ns[i])
+		want := core.RecommendIDs(rec, core.InternContext(rec.Dict(), contexts[i]), ns[i])
 		if len(out[i]) != len(want) {
 			t.Fatalf("item %d: batch %d suggestions, direct %d", i, len(out[i]), len(want))
 		}

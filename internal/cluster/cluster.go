@@ -118,6 +118,7 @@ type Recommender struct {
 	cluster  map[query.ID]int
 	members  map[int][]query.ID // popularity-ranked per cluster
 	popular  map[query.ID]uint64
+	totals   map[int]uint64 // summed member popularity per cluster
 	clusters int
 }
 
@@ -187,7 +188,22 @@ func Build(g *ClickGraph, cfg Config) *Recommender {
 			return ms[i] < ms[j]
 		})
 	}
+	r.buildTotals()
 	return r
+}
+
+// buildTotals caches each cluster's summed member popularity — the Predict
+// score denominator — so the serving path does not walk the member list
+// twice.
+func (r *Recommender) buildTotals() {
+	r.totals = make(map[int]uint64, len(r.members))
+	for ci, ms := range r.members {
+		var total uint64
+		for _, m := range ms {
+			total += r.popular[m]
+		}
+		r.totals[ci] = total
+	}
 }
 
 // NumClusters reports the number of clusters formed.
@@ -215,27 +231,9 @@ func (r *Recommender) Covers(ctx query.Seq) bool {
 }
 
 // Predict implements model.Predictor: same-cluster queries by popularity,
-// excluding the query itself.
+// excluding the query itself. It is PredictInto with a fresh output slice.
 func (r *Recommender) Predict(ctx query.Seq, topN int) []model.Prediction {
-	if topN <= 0 || !r.Covers(ctx) {
-		return nil
-	}
-	last := ctx.Last()
-	ci := r.cluster[last]
-	var total uint64
-	for _, m := range r.members[ci] {
-		total += r.popular[m]
-	}
-	out := make([]model.Prediction, 0, topN)
-	for _, m := range r.members[ci] {
-		if m == last {
-			continue
-		}
-		out = append(out, model.Prediction{Query: m, Score: float64(r.popular[m]) / float64(total)})
-		if len(out) == topN {
-			break
-		}
-	}
+	out := r.PredictInto(nil, ctx, topN)
 	if len(out) == 0 {
 		return nil
 	}
@@ -248,13 +246,10 @@ func (r *Recommender) Prob(ctx query.Seq, q query.ID) float64 {
 		return 0
 	}
 	ci := r.cluster[ctx.Last()]
-	if r.cluster[q] != ci {
+	if ck, ok := r.cluster[q]; !ok || ck != ci {
 		return 0
 	}
-	var total uint64
-	for _, m := range r.members[ci] {
-		total += r.popular[m]
-	}
+	total := r.totals[ci]
 	if total == 0 {
 		return 0
 	}

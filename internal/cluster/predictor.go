@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"repro/internal/compiled"
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+// PredictInto implements compiled.Predictor: same-cluster queries by
+// popularity, appended to dst. The member lists are popularity-ranked at
+// build time and cluster totals are cached, so the call is a map lookup plus
+// one pass over at most topN+1 members — no allocations with a recycled dst.
+func (r *Recommender) PredictInto(dst []model.Prediction, ctx query.Seq, topN int) []model.Prediction {
+	if topN <= 0 || !r.Covers(ctx) {
+		return dst
+	}
+	last := ctx.Last()
+	ci := r.cluster[last]
+	total := r.totals[ci]
+	if total == 0 {
+		return dst
+	}
+	taken := 0
+	for _, m := range r.members[ci] {
+		if m == last {
+			continue
+		}
+		dst = append(dst, model.Prediction{Query: m, Score: float64(r.popular[m]) / float64(total)})
+		taken++
+		if taken == topN {
+			break
+		}
+	}
+	return dst
+}
+
+// Shape implements compiled.Predictor.
+func (r *Recommender) Shape() compiled.Shape {
+	return compiled.Shape{
+		Family:    compiled.FamilyCluster,
+		Label:     r.Name(),
+		Vocab:     len(r.popular),
+		States:    r.clusters,
+		Depth:     1, // conditions on the last query's cluster only
+		ZeroAlloc: true,
+	}
+}
+
+var _ compiled.Predictor = (*Recommender)(nil)

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// magicCluster tags a serialized cluster model payload.
+const magicCluster = "CLSQ"
+
+// WriteTo serializes the clustering — config, cluster assignments and query
+// popularity. Member rankings and cluster totals are derived, so only the
+// two maps are persisted. It implements io.WriterTo for the core family
+// container and store.Footprint.
+func (r *Recommender) WriteTo(w io.Writer) (int64, error) {
+	sw := store.NewWriter(w)
+	sw.Magic(magicCluster)
+	sw.Float64(r.cfg.MinSimilarity)
+	sw.Uvarint(r.cfg.MinClicks)
+	sw.Int(r.clusters)
+	sw.Int(len(r.cluster))
+	for _, id := range sortedIDs(r.cluster) {
+		sw.Uvarint(uint64(id))
+		sw.Int(r.cluster[id])
+	}
+	sw.Int(len(r.popular))
+	ids := make([]query.ID, 0, len(r.popular))
+	for id := range r.popular {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sw.Uvarint(uint64(id))
+		sw.Uvarint(r.popular[id])
+	}
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+func sortedIDs(m map[query.ID]int) []query.ID {
+	ids := make([]query.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Read decodes a model written by WriteTo and rebuilds the popularity-ranked
+// member lists and cluster totals, leaving the recommender ready to serve.
+func Read(rd io.Reader) (*Recommender, error) {
+	sr := store.NewReader(rd)
+	sr.Magic(magicCluster)
+	r := &Recommender{
+		cluster: make(map[query.ID]int),
+		members: make(map[int][]query.ID),
+		popular: make(map[query.ID]uint64),
+	}
+	r.cfg.MinSimilarity = sr.Float64()
+	r.cfg.MinClicks = sr.Uvarint()
+	r.clusters = sr.Int()
+	n := sr.Int()
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		id := query.ID(sr.Uvarint())
+		ci := sr.Int()
+		if ci >= r.clusters {
+			return nil, fmt.Errorf("cluster: member of cluster %d with only %d clusters: %w", ci, r.clusters, store.ErrCorrupt)
+		}
+		r.cluster[id] = ci
+		r.members[ci] = append(r.members[ci], id)
+	}
+	n = sr.Int()
+	for i := 0; i < n && sr.Err() == nil; i++ {
+		id := query.ID(sr.Uvarint())
+		r.popular[id] = sr.Uvarint()
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	for ci := range r.members {
+		ms := r.members[ci]
+		sort.Slice(ms, func(i, j int) bool {
+			if r.popular[ms[i]] != r.popular[ms[j]] {
+				return r.popular[ms[i]] > r.popular[ms[j]]
+			}
+			return ms[i] < ms[j]
+		})
+	}
+	r.buildTotals()
+	return r, nil
+}

@@ -7,7 +7,12 @@
 // Typical usage:
 //
 //	rec, err := core.TrainFromLog(logFile, core.DefaultConfig())
-//	suggestions := rec.Recommend([]string{"nokia n73", "nokia n73 themes"}, 5)
+//	suggestions := core.Recommend(rec, []string{"nokia n73", "nokia n73 themes"}, 5)
+//
+// Serving is expressed over the Recommender interface: Engine (the trained
+// MVMM pipeline) and FromPredictor adapters over any compiled.Predictor
+// (HMM, cluster, pairwise fleet arms) implement the same seam, so cache,
+// fleet and serve hold a Recommender and never know which family answers.
 //
 // Persistence: Save writes the current QRECV004 container (dictionary,
 // interpreted mixture, and the quantised CPS4 compiled blob at a
@@ -18,10 +23,10 @@
 // interpreted-mixture decode until first Model() use; LoadInfo reports the
 // route taken, the blob encoding served and its byte length.
 //
-// Invariants: a Recommender is immutable after training or loading —
-// Recommend, RecommendIDs, RecommendBatchIDs and Probability are safe for
-// unbounded concurrent callers without locking, and the Append* variants
-// are allocation-free with recycled buffers. Serving goes through the
+// Invariants: an Engine is immutable after training or loading — the
+// Recommender methods are safe for unbounded concurrent callers without
+// locking, and the Append* variants are allocation-free with recycled
+// buffers. Serving goes through the
 // compiled single-PST form whenever it exists (always, for mixtures built
 // by this pipeline); quantised (CPS4-loaded) models serve with a bounded
 // ≤ ~2e-5 absolute probability error, and SaveAs transparently recompiles
@@ -77,17 +82,18 @@ type Suggestion struct {
 	Score float64
 }
 
-// Recommender is a trained end-to-end query recommendation system.
+// Engine is the trained end-to-end MVMM recommendation system — the
+// concrete Recommender behind the paper's main pipeline.
 //
 // After training (or loading) the mixture is compiled into a flat single-PST
-// serving form (internal/compiled): RecommendIDs and Probability run one trie
-// descent with zero steady-state allocations instead of walking the K
-// map-based component trees. The interpreted mixture is retained as the
+// serving form (internal/compiled): AppendSuggestions and Probability run
+// one trie descent with zero steady-state allocations instead of walking the
+// K map-based component trees. The interpreted mixture is retained as the
 // build artifact — evaluation code reads it via Model, and it is what Save
 // persists alongside the compiled form. Should compilation ever fail (it
-// cannot for mixtures built by this pipeline) the recommender transparently
+// cannot for mixtures built by this pipeline) the engine transparently
 // serves from the interpreted model instead.
-type Recommender struct {
+type Engine struct {
 	dict  *query.Dict
 	mix   *markov.MVMM
 	comp  *compiled.Model // nil ⇒ interpreted fallback
@@ -122,7 +128,7 @@ type LoadInfo struct {
 }
 
 // LoadInfo reports the provenance of the serving model.
-func (r *Recommender) LoadInfo() LoadInfo { return r.info }
+func (r *Engine) LoadInfo() LoadInfo { return r.info }
 
 // predBufs pools prediction scratch for the zero-allocation serving path.
 var predBufs = sync.Pool{New: func() any {
@@ -132,7 +138,7 @@ var predBufs = sync.Pool{New: func() any {
 
 // TrainFromLog reads a raw search log (logfmt records), runs the full
 // pipeline and trains the MVMM.
-func TrainFromLog(r io.Reader, cfg Config) (*Recommender, error) {
+func TrainFromLog(r io.Reader, cfg Config) (*Engine, error) {
 	dict := query.NewDict()
 	sessions, err := session.SegmentReader(logfmt.NewReader(r), dict, cfg.SessionGap)
 	if err != nil {
@@ -143,7 +149,7 @@ func TrainFromLog(r io.Reader, cfg Config) (*Recommender, error) {
 
 // TrainFromSessions trains from already-segmented sessions whose queries
 // were interned into dict.
-func TrainFromSessions(dict *query.Dict, sessions []query.Seq, cfg Config) *Recommender {
+func TrainFromSessions(dict *query.Dict, sessions []query.Seq, cfg Config) *Engine {
 	agg := session.Aggregate(sessions)
 	if cfg.ReductionThreshold >= 0 {
 		agg, _ = session.Reduce(agg, uint64(cfg.ReductionThreshold))
@@ -153,53 +159,23 @@ func TrainFromSessions(dict *query.Dict, sessions []query.Seq, cfg Config) *Reco
 
 // TrainFromAggregated trains from aggregated (sequence, frequency) sessions.
 // No further reduction is applied.
-func TrainFromAggregated(dict *query.Dict, agg []query.Session, cfg Config) *Recommender {
+func TrainFromAggregated(dict *query.Dict, agg []query.Session, cfg Config) *Engine {
 	eps := cfg.Epsilons
 	if len(eps) == 0 {
 		eps = markov.DefaultEpsilons()
 	}
 	mix := markov.NewMVMMFromEpsilons(agg, eps, dict.Len(), cfg.Mixture)
-	r := &Recommender{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg,
+	r := &Engine{dict: dict, mix: mix, stats: session.Collect(agg), cfg: cfg,
 		info: LoadInfo{Mode: LoadModeTrained}}
 	r.comp, _ = compiled.Compile(mix)
 	return r
-}
-
-// Recommend returns up to n ranked query suggestions for the user's context
-// — the queries already issued this session, oldest first. Unknown context
-// queries are dropped (the MVMM's suffix matching and escape mechanism
-// handle the resulting shorter context); an empty or fully unknown context
-// yields no suggestions.
-//
-// A Recommender is immutable once trained or loaded: Recommend, RecommendIDs
-// and Probability are safe for any number of concurrent callers without
-// locking.
-func (r *Recommender) Recommend(context []string, n int) []Suggestion {
-	return r.RecommendIDs(r.internContext(context), n)
-}
-
-// RecommendIDs is the allocation-lean core of Recommend: it accepts an
-// already-interned context (see InternContext / AppendContext) so serving
-// layers that cache on context IDs intern exactly once per request, and it
-// predicts through the compiled model. The context slice is not retained.
-// The returned slice is freshly allocated (result caches retain it); use
-// AppendSuggestions to recycle the output buffer too.
-func (r *Recommender) RecommendIDs(ctx query.Seq, n int) []Suggestion {
-	if len(ctx) == 0 {
-		return nil
-	}
-	out := r.AppendSuggestions(make([]Suggestion, 0, n), ctx, n)
-	if len(out) == 0 {
-		return nil
-	}
-	return out
 }
 
 // AppendSuggestions appends up to n ranked suggestions for the interned
 // context to dst and returns the extended slice. With a recycled dst this is
 // the zero-allocation serving path: the compiled model predicts into pooled
 // scratch and suggestion strings are shared with the dictionary.
-func (r *Recommender) AppendSuggestions(dst []Suggestion, ctx query.Seq, n int) []Suggestion {
+func (r *Engine) AppendSuggestions(dst []Suggestion, ctx query.Seq, n int) []Suggestion {
 	if len(ctx) == 0 {
 		return dst
 	}
@@ -225,11 +201,11 @@ func (r *Recommender) AppendSuggestions(dst []Suggestion, ctx query.Seq, n int) 
 // makes POST /suggest/batch cheaper than n single requests. Results align
 // 1:1 with ctxs; uncovered or empty contexts yield nil entries. Each non-nil
 // result slice is freshly allocated (callers cache them).
-func (r *Recommender) RecommendBatchIDs(ctxs []query.Seq, ns []int) [][]Suggestion {
+func (r *Engine) RecommendBatchIDs(ctxs []query.Seq, ns []int) [][]Suggestion {
 	out := make([][]Suggestion, len(ctxs))
 	if r.comp == nil { // interpreted fallback: no batched descent available
 		for i, ctx := range ctxs {
-			out[i] = r.RecommendIDs(ctx, ns[i])
+			out[i] = RecommendIDs(r, ctx, ns[i])
 		}
 		return out
 	}
@@ -248,7 +224,7 @@ func (r *Recommender) RecommendBatchIDs(ctxs []query.Seq, ns []int) [][]Suggesti
 
 // Probability returns the model's estimate that the user's next query is q
 // given the context.
-func (r *Recommender) Probability(context []string, q string) float64 {
+func (r *Engine) Probability(context []string, q string) float64 {
 	ctx := r.internContext(context)
 	id, ok := r.dict.Lookup(q)
 	if !ok {
@@ -261,49 +237,18 @@ func (r *Recommender) Probability(context []string, q string) float64 {
 }
 
 // internContext resolves context strings to IDs, dropping unknown queries.
-func (r *Recommender) internContext(context []string) query.Seq {
-	return r.AppendContext(make(query.Seq, 0, len(context)), context)
-}
-
-// InternContext resolves the user's context strings to interned IDs,
-// dropping queries unknown to the training vocabulary. The result feeds
-// RecommendIDs and is the canonical cache key for a request.
-func (r *Recommender) InternContext(context []string) query.Seq {
-	return r.internContext(context)
-}
-
-// AppendContext is the zero-allocation variant of InternContext: resolved
-// IDs are appended to dst (which may be a pooled buffer) and the extended
-// slice is returned.
-func (r *Recommender) AppendContext(dst query.Seq, context []string) query.Seq {
-	for _, q := range context {
-		if id, ok := r.dict.Lookup(q); ok {
-			dst = append(dst, id)
-		}
-	}
-	return dst
-}
-
-// AppendContextBytes is AppendContext for contexts held as raw byte slices —
-// the HTTP fast path, which percent-decodes query parameters into pooled
-// buffers and must not materialise strings to intern them.
-func (r *Recommender) AppendContextBytes(dst query.Seq, context [][]byte) query.Seq {
-	for _, q := range context {
-		if id, ok := r.dict.LookupBytes(q); ok {
-			dst = append(dst, id)
-		}
-	}
-	return dst
+func (r *Engine) internContext(context []string) query.Seq {
+	return AppendContext(r.dict, make(query.Seq, 0, len(context)), context)
 }
 
 // Dict exposes the query dictionary.
-func (r *Recommender) Dict() *query.Dict { return r.dict }
+func (r *Engine) Dict() *query.Dict { return r.dict }
 
 // Model exposes the trained mixture (for evaluation and persistence). For
 // recommenders mmap-loaded through LoadPath the mixture is decoded lazily on
 // first call — cold starts that only serve never pay for it. Returns nil if
 // the deferred decode fails (the error surfaces through Save).
-func (r *Recommender) Model() *markov.MVMM {
+func (r *Engine) Model() *markov.MVMM {
 	if r.mixLoad != nil {
 		r.mixOnce.Do(func() {
 			m, err := r.mixLoad()
@@ -321,19 +266,29 @@ func (r *Recommender) Model() *markov.MVMM {
 // through LoadPath it unmaps the compiled form (otherwise it is a no-op; the
 // GC would reclaim the mapping eventually regardless). The recommender must
 // not be used after Close.
-func (r *Recommender) Close() error {
+func (r *Engine) Close() error {
 	if r.comp != nil {
 		return r.comp.Release()
 	}
 	return nil
 }
 
-// CompiledModel exposes the flat serving form, or nil when the recommender
-// fell back to the interpreted mixture.
-func (r *Recommender) CompiledModel() *compiled.Model { return r.comp }
+// CompiledModel exposes the flat serving form, or nil when the engine fell
+// back to the interpreted mixture.
+func (r *Engine) CompiledModel() *compiled.Model { return r.comp }
+
+// Predictor implements Recommender: the compiled trie, or nil when the
+// engine serves from the interpreted mixture (which predates the Predictor
+// seam and has no zero-allocation contract).
+func (r *Engine) Predictor() compiled.Predictor {
+	if r.comp == nil {
+		return nil
+	}
+	return r.comp
+}
 
 // Stats returns the training-collection statistics (Table IV shape).
-func (r *Recommender) Stats() session.Stats { return r.stats }
+func (r *Engine) Stats() session.Stats { return r.stats }
 
 // Save-format magics. V001 files hold (dictionary, mixture); V002 appends a
 // third section with the varint-encoded (CPS1) compiled single-PST serving
@@ -382,7 +337,7 @@ func writeSection(w io.Writer, name string, wt io.WriterTo) error {
 // artifact) and compiled serving form — in the current V004 layout (the
 // quantised CPS4 compiled blob). A recommender without a compiled model
 // writes an empty compiled section; Load recompiles.
-func (r *Recommender) Save(w io.Writer) error {
+func (r *Engine) Save(w io.Writer) error {
 	return r.SaveAs(w, saveMagicV4)
 }
 
@@ -392,7 +347,7 @@ func (r *Recommender) Save(w io.Writer) error {
 // model was loaded from a quantised CPS4 blob (whose raw counts are gone).
 // Returns nil when no compiled form can be produced — the caller then
 // writes an empty compiled section and Load recompiles.
-func (r *Recommender) exactComp(mix *markov.MVMM) *compiled.Model {
+func (r *Engine) exactComp(mix *markov.MVMM) *compiled.Model {
 	if r.comp != nil && r.comp.Exact() {
 		return r.comp
 	}
@@ -406,7 +361,7 @@ func (r *Recommender) exactComp(mix *markov.MVMM) *compiled.Model {
 // compiled section, for files older deployments must read). It exists for
 // compatibility tooling and for deployments that need the exact formats'
 // bit-identical serving.
-func (r *Recommender) SaveAs(w io.Writer, version string) error {
+func (r *Engine) SaveAs(w io.Writer, version string) error {
 	mix := r.Model()
 	if mix == nil {
 		return fmt.Errorf("core: mixture unavailable for save: %w", r.mixErr)
@@ -456,7 +411,7 @@ func (cw *countWriter) Write(p []byte) (int, error) {
 // the quantised layout (see compiled.ErrUnquantisable) falls back to an
 // exact CPS3 blob in the same container; LoadPath dispatches on the blob's
 // own magic, so nothing downstream cares.
-func (r *Recommender) saveFlat(w io.Writer, mix *markov.MVMM, version string) error {
+func (r *Engine) saveFlat(w io.Writer, mix *markov.MVMM, version string) error {
 	cw := &countWriter{w: w}
 	if _, err := io.WriteString(cw, version); err != nil {
 		return err
@@ -506,7 +461,7 @@ func (r *Recommender) saveFlat(w io.Writer, mix *markov.MVMM, version string) er
 // LoadPath for the zero-copy mmap), the V003 layout, the V002 layout, or
 // the legacy V001 layout (which lacks the compiled section — the serving
 // form is then compiled from the mixture on the spot).
-func Load(rd io.Reader) (*Recommender, error) {
+func Load(rd io.Reader) (*Engine, error) {
 	start := time.Now()
 	r, info, err := load(rd)
 	if err != nil {
@@ -518,7 +473,7 @@ func Load(rd io.Reader) (*Recommender, error) {
 	return r, nil
 }
 
-func load(rd io.Reader) (*Recommender, LoadInfo, error) {
+func load(rd io.Reader) (*Engine, LoadInfo, error) {
 	var info LoadInfo
 	magic := make([]byte, len(saveMagicV1))
 	if _, err := io.ReadFull(rd, magic); err != nil {
@@ -558,7 +513,7 @@ func load(rd io.Reader) (*Recommender, LoadInfo, error) {
 	if err != nil {
 		return nil, info, fmt.Errorf("core: loading model: %w", err)
 	}
-	r := &Recommender{dict: dict, mix: mix, cfg: DefaultConfig()}
+	r := &Engine{dict: dict, mix: mix, cfg: DefaultConfig()}
 	switch version {
 	case saveMagicV2:
 		cs, n, err := section("compiled model")
@@ -632,7 +587,7 @@ func blobFormat(blob []byte) string {
 // fall back to the reader-based heap Load. LoadInfo reports which path was
 // taken, the blob encoding served (CPS3 or quantised CPS4) and its byte
 // length.
-func LoadPath(path string) (*Recommender, error) {
+func LoadPath(path string) (*Engine, error) {
 	return LoadPathWith(path, LoadOptions{})
 }
 
@@ -652,7 +607,7 @@ type LoadOptions struct {
 // best-effort: a refused hint degrades to demand paging and the outcome is
 // reported in LoadInfo.MapAdvice (and onward through /healthz), never as an
 // error.
-func LoadPathWith(path string, opts LoadOptions) (*Recommender, error) {
+func LoadPathWith(path string, opts LoadOptions) (*Engine, error) {
 	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
@@ -760,7 +715,7 @@ func LoadPathWith(path string, opts LoadOptions) (*Recommender, error) {
 		return nil, fmt.Errorf("core: loading compiled model: %w", err)
 	}
 
-	r := &Recommender{dict: dict, comp: comp, cfg: DefaultConfig()}
+	r := &Engine{dict: dict, comp: comp, cfg: DefaultConfig()}
 	r.mixLoad = func() (*markov.MVMM, error) {
 		defer f.Close() // runs at most once, under the Model() sync.Once
 		mix, err := markov.ReadMVMM(io.NewSectionReader(f, mixOff, int64(mixLen)))

@@ -59,7 +59,7 @@ func TestTrainFromLogAndRecommend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := rec.Recommend([]string{"nokia n73"}, 5)
+	got := Recommend(rec, []string{"nokia n73"}, 5)
 	if len(got) == 0 {
 		t.Fatal("no recommendations")
 	}
@@ -76,10 +76,10 @@ func TestRecommendEmptyOrUnknownContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rec.Recommend(nil, 5); got != nil {
+	if got := Recommend(rec, nil, 5); got != nil {
 		t.Fatalf("empty context recommended %v", got)
 	}
-	if got := rec.Recommend([]string{"completely unknown query"}, 5); got != nil {
+	if got := Recommend(rec, []string{"completely unknown query"}, 5); got != nil {
 		t.Fatalf("unknown context recommended %v", got)
 	}
 }
@@ -91,7 +91,7 @@ func TestReductionThresholdDropsRareSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rec.Recommend([]string{"nokia n73"}, 5); got != nil {
+	if got := Recommend(rec, []string{"nokia n73"}, 5); got != nil {
 		t.Fatalf("recommendations survived full reduction: %v", got)
 	}
 	if rec.Stats().Sessions != 0 {
@@ -126,8 +126,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := rec.Recommend([]string{"kidney stones"}, 3)
-	b := loaded.Recommend([]string{"kidney stones"}, 3)
+	a := Recommend(rec, []string{"kidney stones"}, 3)
+	b := Recommend(loaded, []string{"kidney stones"}, 3)
 	if len(a) != len(b) {
 		t.Fatalf("recommendation counts differ: %d vs %d", len(a), len(b))
 	}
@@ -155,7 +155,7 @@ func TestTrainFromSessionsDirect(t *testing.T) {
 		sessions = append(sessions, query.Seq{a, b})
 	}
 	rec := TrainFromSessions(d, sessions, smallConfig())
-	got := rec.Recommend([]string{"smtp"}, 1)
+	got := Recommend(rec, []string{"smtp"}, 1)
 	if len(got) != 1 || got[0].Query != "pop3" {
 		t.Fatalf("Recommend = %v", got)
 	}
@@ -176,20 +176,20 @@ func TestInternAndRecommendIDsEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	context := []string{"unknown filler", "nokia n73"}
-	ctx := rec.InternContext(context)
+	ctx := InternContext(rec.Dict(), context)
 	if len(ctx) != 1 {
 		t.Fatalf("InternContext kept %d IDs, want 1 (unknowns dropped)", len(ctx))
 	}
-	if got := rec.AppendContext(nil, context); !got.Equal(ctx) {
+	if got := AppendContext(rec.Dict(), nil, context); !got.Equal(ctx) {
 		t.Fatalf("AppendContext = %v, InternContext = %v", got, ctx)
 	}
 	// Appending into a pre-sized buffer must reuse it.
 	buf := make(query.Seq, 0, 8)
-	if got := rec.AppendContext(buf, context); &got[0] != &buf[:1][0] {
+	if got := AppendContext(rec.Dict(), buf, context); &got[0] != &buf[:1][0] {
 		t.Fatal("AppendContext reallocated despite spare capacity")
 	}
-	want := rec.Recommend(context, 5)
-	got := rec.RecommendIDs(ctx, 5)
+	want := Recommend(rec, context, 5)
+	got := RecommendIDs(rec, ctx, 5)
 	if len(want) == 0 || len(got) != len(want) {
 		t.Fatalf("RecommendIDs returned %d suggestions, Recommend %d", len(got), len(want))
 	}
@@ -198,14 +198,14 @@ func TestInternAndRecommendIDsEquivalence(t *testing.T) {
 			t.Fatalf("suggestion %d: RecommendIDs %+v vs Recommend %+v", i, got[i], want[i])
 		}
 	}
-	if got := rec.RecommendIDs(nil, 5); got != nil {
+	if got := RecommendIDs(rec, nil, 5); got != nil {
 		t.Fatalf("empty interned context recommended %v", got)
 	}
 }
 
 // writeV1 emits the legacy QRECV001 layout (dictionary + mixture, no
 // compiled section) — the format every pre-V002 model file on disk uses.
-func writeV1(t *testing.T, rec *Recommender) []byte {
+func writeV1(t *testing.T, rec *Engine) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if _, err := buf.WriteString(saveMagicV1); err != nil {
@@ -248,7 +248,7 @@ func TestSaveAsWritesV2WithCompiledSection(t *testing.T) {
 		t.Fatalf("compiled trie resized across save/load: %d vs %d", n, l)
 	}
 	for _, ctxs := range [][]string{{"nokia n73"}, {"kidney stones"}, {"nokia n73", "nokia n73 themes"}} {
-		a, b := rec.Recommend(ctxs, 5), loaded.Recommend(ctxs, 5)
+		a, b := Recommend(rec, ctxs, 5), Recommend(loaded, ctxs, 5)
 		if len(a) != len(b) {
 			t.Fatalf("ctx %v: %d vs %d suggestions", ctxs, len(a), len(b))
 		}
@@ -273,7 +273,7 @@ func TestLoadV1BackCompat(t *testing.T) {
 		t.Fatal("V001 load did not compile the mixture")
 	}
 	for _, ctxs := range [][]string{{"nokia n73"}, {"kidney stones"}} {
-		a, b := rec.Recommend(ctxs, 5), loaded.Recommend(ctxs, 5)
+		a, b := Recommend(rec, ctxs, 5), Recommend(loaded, ctxs, 5)
 		if len(a) == 0 || len(a) != len(b) {
 			t.Fatalf("ctx %v: %d vs %d suggestions", ctxs, len(a), len(b))
 		}
@@ -298,12 +298,12 @@ func TestCompiledMatchesInterpretedThroughCore(t *testing.T) {
 		t.Fatal("no compiled model")
 	}
 	// Force the interpreted path on a clone sharing dict and mixture.
-	interp := &Recommender{dict: rec.dict, mix: rec.mix, stats: rec.stats, cfg: rec.cfg}
+	interp := &Engine{dict: rec.dict, mix: rec.mix, stats: rec.stats, cfg: rec.cfg}
 	for _, ctxs := range [][]string{
 		{"nokia n73"}, {"kidney stones"},
 		{"nokia n73", "nokia n73 themes"}, {"unknown", "nokia n73"},
 	} {
-		a, b := rec.Recommend(ctxs, 5), interp.Recommend(ctxs, 5)
+		a, b := Recommend(rec, ctxs, 5), Recommend(interp, ctxs, 5)
 		if len(a) != len(b) {
 			t.Fatalf("ctx %v: compiled %d vs interpreted %d suggestions (%v vs %v)", ctxs, len(a), len(b), a, b)
 		}
@@ -320,8 +320,8 @@ func TestAppendSuggestionsReusesBuffer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx := rec.InternContext([]string{"nokia n73"})
-	want := rec.RecommendIDs(ctx, 5)
+	ctx := InternContext(rec.Dict(), []string{"nokia n73"})
+	want := RecommendIDs(rec, ctx, 5)
 	if len(want) == 0 {
 		t.Fatal("no suggestions")
 	}
@@ -345,14 +345,14 @@ func TestRecommendConcurrentReaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := rec.Recommend([]string{"nokia n73"}, 5)
+	want := Recommend(rec, []string{"nokia n73"}, 5)
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				got := rec.Recommend([]string{"nokia n73"}, 5)
+				got := Recommend(rec, []string{"nokia n73"}, 5)
 				if len(got) != len(want) || got[0].Query != want[0].Query {
 					panic("concurrent recommendation diverged")
 				}

@@ -11,13 +11,13 @@ import (
 	"repro/internal/query"
 )
 
-func assertSameRecommendations(t *testing.T, label string, a, b *Recommender) {
+func assertSameRecommendations(t *testing.T, label string, a, b *Engine) {
 	t.Helper()
 	for _, ctx := range [][]string{
 		{"nokia n73"}, {"kidney stones"},
 		{"nokia n73", "nokia n73 themes"}, {"unknown", "nokia n73"},
 	} {
-		x, y := a.Recommend(ctx, 5), b.Recommend(ctx, 5)
+		x, y := Recommend(a, ctx, 5), Recommend(b, ctx, 5)
 		if len(x) != len(y) {
 			t.Fatalf("%s: ctx %v: %d vs %d suggestions", label, ctx, len(x), len(y))
 		}
@@ -218,10 +218,10 @@ func TestRecommendBatchIDsMatchesSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctxs := []query.Seq{
-		rec.InternContext([]string{"nokia n73"}),
-		rec.InternContext([]string{"kidney stones"}),
+		InternContext(rec.Dict(), []string{"nokia n73"}),
+		InternContext(rec.Dict(), []string{"kidney stones"}),
 		nil, // empty context
-		rec.InternContext([]string{"nokia n73", "nokia n73 themes"}),
+		InternContext(rec.Dict(), []string{"nokia n73", "nokia n73 themes"}),
 	}
 	ns := []int{5, 3, 5, 1}
 	got := rec.RecommendBatchIDs(ctxs, ns)
@@ -229,7 +229,7 @@ func TestRecommendBatchIDsMatchesSingle(t *testing.T) {
 		t.Fatalf("batch returned %d results for %d contexts", len(got), len(ctxs))
 	}
 	for i := range ctxs {
-		want := rec.RecommendIDs(ctxs[i], ns[i])
+		want := RecommendIDs(rec, ctxs[i], ns[i])
 		if len(got[i]) != len(want) {
 			t.Fatalf("ctx %d: batch %d suggestions, single %d", i, len(got[i]), len(want))
 		}

@@ -20,13 +20,13 @@ const quantScoreTol = 2e-5
 // contract: identical suggestion IDs in identical order (the test contexts
 // have well-separated scores, so bounded error cannot reorder them) with
 // scores within quantScoreTol.
-func assertCloseRecommendations(t *testing.T, label string, exact, quant *Recommender) {
+func assertCloseRecommendations(t *testing.T, label string, exact, quant *Engine) {
 	t.Helper()
 	for _, ctx := range [][]string{
 		{"nokia n73"}, {"kidney stones"},
 		{"nokia n73", "nokia n73 themes"}, {"unknown", "nokia n73"},
 	} {
-		x, y := exact.Recommend(ctx, 5), quant.Recommend(ctx, 5)
+		x, y := Recommend(exact, ctx, 5), Recommend(quant, ctx, 5)
 		if len(x) != len(y) {
 			t.Fatalf("%s: ctx %v: %d vs %d suggestions", label, ctx, len(x), len(y))
 		}

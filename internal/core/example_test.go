@@ -62,8 +62,8 @@ func Example() {
 
 	// Serve: intern the user's context once (the serving layers cache on
 	// the interned IDs) and ask for ranked suggestions.
-	ctx := loaded.InternContext([]string{"nokia n73"})
-	for i, s := range loaded.RecommendIDs(ctx, 2) {
+	ctx := core.InternContext(loaded.Dict(), []string{"nokia n73"})
+	for i, s := range core.RecommendIDs(loaded, ctx, 2) {
 		fmt.Printf("%d. %s\n", i+1, s.Query)
 	}
 	// Output:

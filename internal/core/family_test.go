@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/compiled"
+	"repro/internal/hmm"
+	"repro/internal/logfmt"
+	"repro/internal/pairwise"
+	"repro/internal/query"
+)
+
+// familyTestData builds a tiny corpus shared by the container round-trips.
+func familyTestData(t *testing.T) (*query.Dict, []query.Session) {
+	t.Helper()
+	d := query.NewDict()
+	seq := func(queries ...string) query.Seq {
+		s := make(query.Seq, len(queries))
+		for i, q := range queries {
+			s[i] = d.Intern(q)
+		}
+		return s
+	}
+	return d, []query.Session{
+		{Queries: seq("nokia n73", "nokia n73 themes"), Count: 30},
+		{Queries: seq("kidney stones", "kidney stone symptoms"), Count: 20},
+	}
+}
+
+// TestFamilyContainerRoundTrip: every family survives SaveFamily →
+// LoadAnyPath with identical predictions, a LoadInfo naming its family, and
+// a dictionary hash equal to the training one.
+func TestFamilyContainerRoundTrip(t *testing.T) {
+	d, sessions := familyTestData(t)
+	m, err := hmm.Train(sessions, hmm.DefaultConfig(d.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cluster.NewClickGraph(d)
+	for i := 0; i < 4; i++ {
+		g.Add(logfmt.Record{Query: "nokia n73", Clicks: []logfmt.Click{{URL: "u1"}}})
+		g.Add(logfmt.Record{Query: "nokia n73 themes", Clicks: []logfmt.Click{{URL: "u1"}}})
+	}
+	families := []struct {
+		family string
+		p      compiled.Predictor
+	}{
+		{compiled.FamilyHMM, m},
+		{compiled.FamilyCluster, cluster.Build(g, cluster.DefaultConfig())},
+		{compiled.FamilyAdjacency, pairwise.NewAdjacency(sessions, d.Len())},
+		{compiled.FamilyCooccurrence, pairwise.NewCooccurrence(sessions, d.Len())},
+	}
+	for _, tc := range families {
+		t.Run(tc.family, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "model.bin")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SaveFamily(f, tc.family, d, tc.p.(io.WriterTo)); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			loaded, err := LoadAnyPath(path, LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer loaded.Close()
+			if got := loaded.LoadInfo().Format; got != tc.family {
+				t.Fatalf("LoadInfo.Format = %q, want %q", got, tc.family)
+			}
+			if loaded.Dict().Hash() != d.Hash() {
+				t.Fatal("dictionary did not round-trip")
+			}
+			p := loaded.Predictor()
+			if p == nil {
+				t.Fatal("loaded family arm has no Predictor")
+			}
+			if p.Shape().Family != tc.family {
+				t.Fatalf("Shape().Family = %q, want %q", p.Shape().Family, tc.family)
+			}
+			ctx := query.Seq{0} // "nokia n73"
+			want := tc.p.PredictInto(nil, ctx, 5)
+			got := p.PredictInto(nil, ctx, 5)
+			if len(want) != len(got) {
+				t.Fatalf("round-trip changed answer length: %d vs %d", len(got), len(want))
+			}
+			for i := range want {
+				if want[i].Query != got[i].Query {
+					t.Fatalf("round-trip changed rank %d: %+v vs %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSaveFamilyRejectsUnknown: the container refuses families LoadFamily
+// could not dispatch.
+func TestSaveFamilyRejectsUnknown(t *testing.T) {
+	d, sessions := familyTestData(t)
+	var buf bytes.Buffer
+	if err := SaveFamily(&buf, "mvmm", d, pairwise.NewAdjacency(sessions, d.Len())); err == nil {
+		t.Fatal("SaveFamily accepted the mvmm family (QRECV owns it)")
+	}
+	if err := SaveFamily(&buf, "markov-chain", d, pairwise.NewAdjacency(sessions, d.Len())); err == nil {
+		t.Fatal("SaveFamily accepted an unknown family")
+	}
+}

@@ -110,8 +110,8 @@ func TestFig8SequenceBeatsPairwise(t *testing.T) {
 		idx[name] = i
 	}
 	mvmm := panel.NDCG[idx["MVMM"]]
-	adj := panel.NDCG[idx["Adj."]]
-	cooc := panel.NDCG[idx["Co-occ."]]
+	adj := panel.NDCG[idx["Adjacency"]]
+	cooc := panel.NDCG[idx["Co-occurrence"]]
 	// Headline claim: sequence methods match or beat pair-wise at every
 	// length and win strictly once real context is available (length >= 2;
 	// at length 1 both see identical evidence and tie — see EXPERIMENTS.md).
@@ -179,11 +179,11 @@ func TestFig10CoverageOrdering(t *testing.T) {
 	}
 	// Paper: Co-occ has the best coverage; Adj/VMM/MVMM tie below it;
 	// N-gram is by far the worst.
-	if cov["Co-occ."] < cov["Adj."] {
-		t.Errorf("Co-occ coverage %.4f < Adj %.4f", cov["Co-occ."], cov["Adj."])
+	if cov["Co-occurrence"] < cov["Adjacency"] {
+		t.Errorf("Co-occ coverage %.4f < Adj %.4f", cov["Co-occurrence"], cov["Adjacency"])
 	}
-	if math.Abs(cov["Adj."]-cov["MVMM"]) > 1e-9 {
-		t.Errorf("Adj %.4f != MVMM %.4f (partial-match strategy should tie them)", cov["Adj."], cov["MVMM"])
+	if math.Abs(cov["Adjacency"]-cov["MVMM"]) > 1e-9 {
+		t.Errorf("Adj %.4f != MVMM %.4f (partial-match strategy should tie them)", cov["Adjacency"], cov["MVMM"])
 	}
 	if cov["N-gram"] >= cov["MVMM"] {
 		t.Errorf("N-gram coverage %.4f >= MVMM %.4f", cov["N-gram"], cov["MVMM"])
@@ -247,8 +247,8 @@ func TestTable7FootprintOrdering(t *testing.T) {
 	if size["MVMM"] < size["VMM (0)"] {
 		t.Errorf("MVMM %d < VMM(0.0) %d", size["MVMM"], size["VMM (0)"])
 	}
-	if size["VMM (0)"] < size["Adj."] {
-		t.Errorf("VMM(0.0) %d < Adj %d", size["VMM (0)"], size["Adj."])
+	if size["VMM (0)"] < size["Adjacency"] {
+		t.Errorf("VMM(0.0) %d < Adj %d", size["VMM (0)"], size["Adjacency"])
 	}
 	if r.MVMMUnion != r.VMM00Size {
 		t.Errorf("union PST %d != VMM(0.0) nodes %d", r.MVMMUnion, r.VMM00Size)
@@ -314,16 +314,16 @@ func TestUserStudyShape(t *testing.T) {
 	// Paper Table VIII / Fig. 13 orderings: MVMM leads precision, the
 	// sequence models beat Co-occurrence, and the pair-wise methods predict
 	// more queries than the sequence methods.
-	if prec["MVMM"] <= prec["Co-occ."] {
-		t.Errorf("MVMM precision %.4f <= Co-occ %.4f", prec["MVMM"], prec["Co-occ."])
+	if prec["MVMM"] <= prec["Co-occurrence"] {
+		t.Errorf("MVMM precision %.4f <= Co-occ %.4f", prec["MVMM"], prec["Co-occurrence"])
 	}
-	if prec["MVMM"] <= prec["Adj."] {
-		t.Errorf("MVMM precision %.4f <= Adj %.4f", prec["MVMM"], prec["Adj."])
+	if prec["MVMM"] <= prec["Adjacency"] {
+		t.Errorf("MVMM precision %.4f <= Adj %.4f", prec["MVMM"], prec["Adjacency"])
 	}
-	if prec["N-gram"] <= prec["Co-occ."] {
-		t.Errorf("N-gram precision %.4f <= Co-occ %.4f", prec["N-gram"], prec["Co-occ."])
+	if prec["N-gram"] <= prec["Co-occurrence"] {
+		t.Errorf("N-gram precision %.4f <= Co-occ %.4f", prec["N-gram"], prec["Co-occurrence"])
 	}
-	if pred["Co-occ."] <= pred["MVMM"] || pred["Adj."] <= pred["N-gram"] {
+	if pred["Co-occurrence"] <= pred["MVMM"] || pred["Adjacency"] <= pred["N-gram"] {
 		t.Errorf("pair-wise methods should predict more queries: %v", pred)
 	}
 }

@@ -124,8 +124,8 @@ func Fig12(c *Corpus) Fig12Result {
 		fn   func(train []query.Session)
 	}
 	trainers := []trainer{
-		{"Adj.", func(t []query.Session) { pairwise.NewAdjacency(t, vocab) }},
-		{"Co-occ.", func(t []query.Session) { pairwise.NewCooccurrence(t, vocab) }},
+		{"Adjacency", func(t []query.Session) { pairwise.NewAdjacency(t, vocab) }},
+		{"Co-occurrence", func(t []query.Session) { pairwise.NewCooccurrence(t, vocab) }},
 		{"N-gram", func(t []query.Session) { markov.NewNGram(t, vocab) }},
 		{"VMM (0.05)", func(t []query.Session) {
 			markov.NewVMM(t, markov.VMMConfig{Epsilon: 0.05, Vocab: vocab})

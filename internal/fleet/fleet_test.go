@@ -15,7 +15,7 @@ import (
 // extra queries interned after it, trained on sessions over the extra
 // vocabulary when given (so "challenger" models answer differently), the
 // base chain otherwise.
-func trainRec(t testing.TB, extra ...string) *core.Recommender {
+func trainRec(t testing.TB, extra ...string) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	a, b, c := d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")
@@ -42,7 +42,7 @@ func trainRec(t testing.TB, extra ...string) *core.Recommender {
 
 // permutedRec trains a model whose dictionary assigns the base vocabulary
 // different IDs — the incompatible-reload case.
-func permutedRec(t testing.TB) *core.Recommender {
+func permutedRec(t testing.TB) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	c, b, a := d.Intern("o2 mobile phones"), d.Intern("o2 mobile"), d.Intern("o2")
@@ -292,7 +292,7 @@ func TestShadowDivergence(t *testing.T) {
 	}
 
 	champ := rt.Arm(0).Slot()
-	ctx := champ.State().Rec.InternContext([]string{"o2"})
+	ctx := core.InternContext(champ.State().Rec.Dict(), []string{"o2"})
 	const samples = 32
 	for i := 0; i < samples; i++ {
 		st := champ.State()

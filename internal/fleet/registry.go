@@ -67,7 +67,7 @@ func (e *ErrDictIncompatible) Error() string {
 // generation joins every cache key, so results computed against a swapped-out
 // model can never answer for its replacement.
 type SlotState struct {
-	Rec *core.Recommender
+	Rec core.Recommender
 	Gen uint64
 }
 
@@ -78,7 +78,7 @@ type Slot struct {
 	id     uint32 // cache key-space ID, dense from 0 in registration order
 	state  atomic.Pointer[SlotState]
 	mu     sync.Mutex // serialises Swap/Reload
-	loader func() (*core.Recommender, error)
+	loader func() (core.Recommender, error)
 	reg    *Registry
 }
 
@@ -98,7 +98,7 @@ func (s *Slot) State() *SlotState { return s.state.Load() }
 // bypasses the check for operator-confirmed full replacements. The shared
 // cache is purged either way — stale entries could never answer (generation
 // keying) but their memory is released early. Returns the new generation.
-func (s *Slot) Swap(rec *core.Recommender, force bool) (uint64, error) {
+func (s *Slot) Swap(rec core.Recommender, force bool) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.state.Load()
@@ -151,7 +151,7 @@ func NewRegistry(cacheCapacity int) *Registry {
 // Add registers a named model with an optional loader for reload-by-name and
 // returns its slot. Names must be unique and non-empty; registration happens
 // at startup, before the registry serves traffic.
-func (g *Registry) Add(name string, rec *core.Recommender, loader func() (*core.Recommender, error)) (*Slot, error) {
+func (g *Registry) Add(name string, rec core.Recommender, loader func() (core.Recommender, error)) (*Slot, error) {
 	if name == "" {
 		return nil, errors.New("fleet: empty slot name")
 	}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pairwise"
+	"repro/internal/query"
+)
+
+// Reranker reorders an arm's top-N answer before it is returned to the user
+// — the optional second-stage ranking hook (off by default, configured per
+// arm with Router.SetRerank and surfaced in /v1/models).
+//
+// Rerank appends the reordered suggestions to dst and returns the extended
+// slice. recs is a cache-owned immutable slice: implementations must copy,
+// never reorder in place. Implementations must be safe for concurrent use
+// and allocation-free with a recycled dst (the serving layer pools it).
+type Reranker interface {
+	// Name identifies the reranker in /v1/models.
+	Name() string
+	Rerank(ctx query.Seq, recs []core.Suggestion, dst []core.Suggestion) []core.Suggestion
+}
+
+// DefaultRerankLambda is the pairwise blend weight when none is configured:
+// the base model's order dominates and adjacency evidence breaks ties and
+// promotes strong immediate-follower candidates.
+const DefaultRerankLambda = 0.3
+
+// PairwiseReranker reorders suggestions by blending the base model's
+// normalised score with the pairwise adjacency probability of each candidate
+// following the context's last query:
+//
+//	blend = (1-λ)·score/maxScore + λ·P_adj(q | last)
+//
+// The suggestion payload keeps the base model's scores — the blend only
+// decides order, so reranking never changes what the scores mean.
+type PairwiseReranker struct {
+	adj    *pairwise.Adjacency
+	dict   *query.Dict
+	lambda float64
+	pool   sync.Pool // *[]float64 blend scratch
+}
+
+// NewPairwiseReranker builds a reranker over a trained adjacency model whose
+// query IDs were interned against dict (the fleet's base dictionary).
+// lambda in (0,1] weights the adjacency evidence; <= 0 selects
+// DefaultRerankLambda.
+func NewPairwiseReranker(adj *pairwise.Adjacency, dict *query.Dict, lambda float64) (*PairwiseReranker, error) {
+	if adj == nil {
+		return nil, errors.New("fleet: nil adjacency model for reranker")
+	}
+	if dict == nil {
+		return nil, errors.New("fleet: nil dictionary for reranker")
+	}
+	if lambda <= 0 {
+		lambda = DefaultRerankLambda
+	}
+	if lambda > 1 {
+		return nil, fmt.Errorf("fleet: rerank lambda %v outside (0,1]", lambda)
+	}
+	return &PairwiseReranker{adj: adj, dict: dict, lambda: lambda}, nil
+}
+
+// Name implements Reranker.
+func (r *PairwiseReranker) Name() string {
+	return fmt.Sprintf("%s(lambda=%.2f)", "pairwise", r.lambda)
+}
+
+// Rerank implements Reranker: copy recs into dst, blend-score each
+// candidate, stable-sort the copy by descending blend. The blend scratch is
+// pooled and the sort is an in-place insertion sort (top-N is small), so a
+// recycled dst makes the call allocation-free — gated by
+// BenchmarkRerankPairwise.
+func (r *PairwiseReranker) Rerank(ctx query.Seq, recs []core.Suggestion, dst []core.Suggestion) []core.Suggestion {
+	start := len(dst)
+	dst = append(dst, recs...)
+	if len(recs) < 2 || len(ctx) == 0 {
+		return dst
+	}
+	bufp, _ := r.pool.Get().(*[]float64)
+	if bufp == nil {
+		b := make([]float64, 0, 64)
+		bufp = &b
+	}
+	blend := (*bufp)[:0]
+	maxScore := recs[0].Score // recs arrive ranked; recs[0] carries the max
+	if maxScore <= 0 {
+		maxScore = 1
+	}
+	for _, rec := range recs {
+		var pair float64
+		if id, ok := r.dict.Lookup(rec.Query); ok {
+			pair = r.adj.Prob(ctx, id)
+		}
+		blend = append(blend, (1-r.lambda)*(rec.Score/maxScore)+r.lambda*pair)
+	}
+	out := dst[start:]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && blend[j] > blend[j-1]; j-- {
+			blend[j], blend[j-1] = blend[j-1], blend[j]
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	*bufp = blend[:0]
+	r.pool.Put(bufp)
+	return dst
+}
+
+var _ Reranker = (*PairwiseReranker)(nil)
+
+// SetRerank attaches a reranker to the named live arm. Configuration happens
+// at startup, before the router serves traffic (assignment is not
+// synchronised with in-flight requests); shadow slots cannot rerank (their
+// answers are never served).
+func (rt *Router) SetRerank(arm string, rk Reranker) error {
+	for _, a := range rt.arms {
+		if a.header[0] == arm {
+			a.rerank = rk
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: no live arm %q to attach reranker to", arm)
+}
+
+// Reranker returns the arm's configured reranker, nil when reranking is off
+// (the default).
+func (a *Arm) Reranker() Reranker { return a.rerank }

@@ -31,6 +31,10 @@ type Arm struct {
 	// (same trick as the serving layer's content-type).
 	header []string
 
+	// rerank is the arm's optional second-stage ranking hook (nil = off, the
+	// default); set once at startup via Router.SetRerank.
+	rerank Reranker
+
 	requests atomic.Uint64
 	lat      armLatencyRing
 }

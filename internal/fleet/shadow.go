@@ -29,6 +29,7 @@ type shadowJob struct {
 // an atomic integer.
 type shadowCounters struct {
 	samples         atomic.Uint64
+	covered         atomic.Uint64
 	top1Mismatches  atomic.Uint64
 	overlapMilliSum atomic.Uint64
 }
@@ -36,12 +37,17 @@ type shadowCounters struct {
 // ShadowStats is one shadow slot's divergence snapshot, exposed through
 // /models and /metrics: how often the challenger's top suggestion differs
 // from the champion's, and how much of the served top-N list the two models
-// share on average. These are the online counterparts of the paper's offline
-// ranking comparison — computable without ever serving the challenger.
+// share on average. Family names the challenger's model family (HMM,
+// cluster, pairwise, MVMM) and Coverage its answer rate, so the /v1/metrics
+// shadow block reads as a live cross-family comparison table — the online
+// counterpart of the paper's offline ranking comparison, computable without
+// ever serving the challenger.
 type ShadowStats struct {
 	Name             string  `json:"name"`
+	Family           string  `json:"family,omitempty"`
 	Samples          uint64  `json:"samples"`
 	Dropped          uint64  `json:"dropped"`
+	Coverage         float64 `json:"coverage"`
 	Top1MismatchRate float64 `json:"top1_mismatch_rate"`
 	MeanRankOverlap  float64 `json:"mean_rank_overlap"`
 }
@@ -125,6 +131,9 @@ func (sh *shadower) run() {
 // union of the two top-N lists both models produced).
 func (sh *shadower) record(c *shadowCounters, champion, got []core.Suggestion) {
 	c.samples.Add(1)
+	if len(got) > 0 {
+		c.covered.Add(1)
+	}
 	if top1Mismatch(champion, got) {
 		c.top1Mismatches.Add(1)
 	}
@@ -172,7 +181,11 @@ func (sh *shadower) stats() []ShadowStats {
 	for i, slot := range sh.slots {
 		n := sh.div[i].samples.Load()
 		s := ShadowStats{Name: slot.name, Samples: n, Dropped: dropped}
+		if p := slot.State().Rec.Predictor(); p != nil {
+			s.Family = p.Shape().Family
+		}
 		if n > 0 {
+			s.Coverage = float64(sh.div[i].covered.Load()) / float64(n)
 			s.Top1MismatchRate = float64(sh.div[i].top1Mismatches.Load()) / float64(n)
 			s.MeanRankOverlap = float64(sh.div[i].overlapMilliSum.Load()) / (1000 * float64(n))
 		}

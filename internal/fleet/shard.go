@@ -9,7 +9,10 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/jsonspan"
 )
 
 // Transport carries a routed request to a shard replica. Implementations
@@ -19,9 +22,11 @@ type Transport interface {
 	// (status, content type, body) to w — the single-request path, kept
 	// streaming so the loopback case stays allocation-free.
 	Forward(shard int, w http.ResponseWriter, r *http.Request)
-	// Exchange posts a JSON body to path on the given shard and returns the
-	// response — the batch fan-out path.
-	Exchange(shard int, path string, body []byte) (status int, resp []byte, err error)
+	// Exchange posts a JSON body to path on the given shard — the batch
+	// fan-out path. The response body is appended to respBuf (which may be a
+	// recycled pooled buffer, possibly nil) and returned; the caller owns it
+	// and the transport must not retain or reuse it after returning.
+	Exchange(shard int, path string, body, respBuf []byte) (status int, resp []byte, err error)
 	// Shards returns the number of replicas the transport can reach.
 	Shards() int
 }
@@ -34,6 +39,7 @@ type Transport interface {
 // distributed.
 type LoopbackTransport struct {
 	handlers []http.Handler
+	scratch  sync.Pool // *loopbackScratch
 }
 
 // NewLoopbackTransport builds a loopback transport over in-process handlers,
@@ -50,24 +56,59 @@ func (t *LoopbackTransport) Forward(shard int, w http.ResponseWriter, r *http.Re
 	t.handlers[shard].ServeHTTP(w, r)
 }
 
-// Exchange implements Transport by synthesising an in-process POST.
-func (t *LoopbackTransport) Exchange(shard int, path string, body []byte) (int, []byte, error) {
-	req, err := http.NewRequest(http.MethodPost, path, bytes.NewReader(body))
-	if err != nil {
-		return 0, nil, err
+// loopbackScratch is one pooled synthetic request/response pair: the
+// http.Request, its URL, the body reader and the response recorder are all
+// built once and reset per exchange, so the steady-state loopback fan-out
+// allocates nothing per sub-request.
+type loopbackScratch struct {
+	req  http.Request
+	url  url.URL
+	rd   bytes.Reader
+	resp bufferedResponse
+}
+
+// nopCloseReader adapts the scratch body reader to http.Request.Body.
+type nopCloseReader struct{ *bytes.Reader }
+
+func (nopCloseReader) Close() error { return nil }
+
+// Exchange implements Transport by synthesising an in-process POST from a
+// pooled request scratch.
+func (t *LoopbackTransport) Exchange(shard int, path string, body, respBuf []byte) (int, []byte, error) {
+	s, _ := t.scratch.Get().(*loopbackScratch)
+	if s == nil {
+		s = &loopbackScratch{}
+		s.req.Method = http.MethodPost
+		s.req.Proto = "HTTP/1.1"
+		s.req.ProtoMajor, s.req.ProtoMinor = 1, 1
+		s.req.Header = http.Header{"Content-Type": {"application/json"}}
+		s.req.URL = &s.url
+		s.req.Body = nopCloseReader{&s.rd}
+		s.resp.header = make(http.Header, 4)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	rec := &bufferedResponse{header: make(http.Header, 4)}
-	t.handlers[shard].ServeHTTP(rec, req)
-	return rec.status(), rec.body.Bytes(), nil
+	s.url.Path = path
+	s.url.RawQuery = ""
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		s.url.Path, s.url.RawQuery = path[:i], path[i+1:]
+	}
+	s.rd.Reset(body)
+	s.req.ContentLength = int64(len(body))
+	s.resp.code = 0
+	s.resp.body = respBuf
+	clear(s.resp.header)
+	t.handlers[shard].ServeHTTP(&s.resp, &s.req)
+	status, out := s.resp.status(), s.resp.body
+	s.resp.body = nil // caller owns the buffer now
+	t.scratch.Put(s)
+	return status, out, nil
 }
 
 // bufferedResponse is a minimal in-memory http.ResponseWriter for loopback
-// exchanges.
+// exchanges; the body accumulates in a caller-owned byte slice.
 type bufferedResponse struct {
 	code   int
 	header http.Header
-	body   bytes.Buffer
+	body   []byte
 }
 
 func (r *bufferedResponse) Header() http.Header { return r.header }
@@ -82,7 +123,8 @@ func (r *bufferedResponse) Write(p []byte) (int, error) {
 	if r.code == 0 {
 		r.code = http.StatusOK
 	}
-	return r.body.Write(p)
+	r.body = append(r.body, p...)
+	return len(p), nil
 }
 
 func (r *bufferedResponse) status() int {
@@ -151,18 +193,37 @@ func (t *HTTPTransport) Forward(shard int, w http.ResponseWriter, r *http.Reques
 	io.Copy(w, resp.Body)
 }
 
-// Exchange implements Transport with a plain POST to the shard.
-func (t *HTTPTransport) Exchange(shard int, path string, body []byte) (int, []byte, error) {
+// Exchange implements Transport with a plain POST to the shard, reading the
+// response into the caller's recycled buffer.
+func (t *HTTPTransport) Exchange(shard int, path string, body, respBuf []byte) (int, []byte, error) {
 	resp, err := t.client.Post(t.bases[shard].String()+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := appendReadAll(respBuf, resp.Body)
 	if err != nil {
 		return 0, nil, err
 	}
 	return resp.StatusCode, raw, nil
+}
+
+// appendReadAll reads rd to EOF, appending to buf — io.ReadAll with a
+// recycled destination.
+func appendReadAll(buf []byte, rd io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // ShardRouter fans suggestion traffic out to N replicas of the same model by
@@ -178,6 +239,9 @@ type ShardRouter struct {
 
 	// shardHeader[i] is the pre-built X-Serve-Shard value for shard i.
 	shardHeader [][]string
+
+	scratch sync.Pool // *batchScratch
+	calls   sync.Pool // *shardCall
 
 	requests    atomic.Uint64
 	batches     atomic.Uint64
@@ -214,7 +278,9 @@ func NewShardRouter(ring *Ring, tr Transport) (*ShardRouter, error) {
 func (s *ShardRouter) Ring() *Ring { return s.ring }
 
 // ServeHTTP implements http.Handler: suggestion traffic is routed by context
-// hash; /healthz, /metrics and /route answer from the router itself.
+// hash; /healthz, /metrics and /route answer from the router itself. Admin
+// endpoints live under /v1/ with the legacy unversioned paths redirecting,
+// mirroring the serving layer's surface.
 func (s *ShardRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/suggest":
@@ -223,14 +289,19 @@ func (s *ShardRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.batch(w, r)
 	case "/healthz":
 		s.health(w)
-	case "/metrics":
+	case "/v1/metrics":
 		s.metrics(w)
-	case "/route":
+	case "/v1/route":
 		s.route(w, r)
+	case "/v1/reload":
+		s.reload(w, r)
+	case "/metrics", "/route":
+		redirectV1(w, r)
 	case "/reload":
+		// POST cannot follow a 301 without changing semantics: alias it.
 		s.reload(w, r)
 	default:
-		http.NotFound(w, r)
+		writeErrorJSON(w, http.StatusNotFound, "not_found", "no such endpoint")
 	}
 }
 
@@ -255,7 +326,7 @@ type ShardReloadResponse struct {
 // rollouts.
 func (s *ShardRouter) reload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeErrorJSON(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
 	path := "/reload"
@@ -266,14 +337,14 @@ func (s *ShardRouter) reload(w http.ResponseWriter, r *http.Request) {
 	overall := http.StatusOK
 	for shard := range resp.Shards {
 		res := ShardReloadResult{Shard: shard}
-		status, body, err := s.tr.Exchange(shard, path, nil)
+		status, body, err := s.tr.Exchange(shard, path, nil, nil)
 		if err != nil {
 			res.Status = http.StatusBadGateway
 			res.Error = err.Error()
 		} else {
 			res.Status = status
 			if json.Valid(body) {
-				res.Response = json.RawMessage(body)
+				res.Response = json.RawMessage(bytes.Clone(body))
 			} else {
 				res.Error = string(bytes.TrimSpace(body))
 			}
@@ -294,7 +365,7 @@ func (s *ShardRouter) reload(w http.ResponseWriter, r *http.Request) {
 // strings.
 func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeErrorJSON(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	shard := s.ring.Lookup(hashRawQueryContext(r.URL.RawQuery))
@@ -304,139 +375,249 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 	s.tr.Forward(shard, w, r)
 }
 
-// shardBatchItem is the slice of a batch item the router needs for hashing;
-// unknown fields pass through untouched in the raw message.
-type shardBatchItem struct {
-	Context []string `json:"context"`
+// batchScratch is the pooled working state of one batch fan-out: the raw
+// body, the item spans, the shard assignment, the scatter targets and the
+// merged response builder. Everything is recycled, so a steady-state fan-out
+// allocates only the per-shard goroutines.
+type batchScratch struct {
+	body    []byte
+	spans   [][2]int // item spans within body
+	shardOf []int    // owning shard per item
+	counts  []int    // items per shard
+	results [][]byte // per-item result bytes, aliasing the shardCall buffers
+	calls   []*shardCall
+	out     []byte // merged response body
+	wg      sync.WaitGroup
+}
+
+// shardCall is one pooled sub-batch exchange: the sub-body sent to a shard,
+// the shard's raw response, and the response's parsed result spans. The
+// response buffer stays alive until the merge completes — results are
+// scattered zero-copy.
+type shardCall struct {
+	shard int
+	want  int // items in this sub-batch
+	sub   []byte
+	resp  []byte
+	spans [][2]int
+	err   error
+}
+
+func (s *ShardRouter) getScratch() *batchScratch {
+	b, _ := s.scratch.Get().(*batchScratch)
+	if b == nil {
+		b = &batchScratch{body: make([]byte, 0, 4096)}
+	}
+	if len(b.counts) != s.ring.Shards() {
+		b.counts = make([]int, s.ring.Shards())
+	}
+	b.body = b.body[:0]
+	b.spans = b.spans[:0]
+	b.shardOf = b.shardOf[:0]
+	b.results = b.results[:0]
+	b.calls = b.calls[:0]
+	b.out = b.out[:0]
+	clear(b.counts)
+	return b
+}
+
+func (s *ShardRouter) putScratch(b *batchScratch) {
+	for i := range b.results {
+		b.results[i] = nil
+	}
+	for _, c := range b.calls {
+		c.sub = c.sub[:0]
+		c.resp = c.resp[:0]
+		c.spans = c.spans[:0]
+		c.err = nil
+		s.calls.Put(c)
+	}
+	b.calls = b.calls[:0]
+	s.scratch.Put(b)
 }
 
 // batch splits a POST /suggest/batch body across shards and merges the
-// responses back into request order. Items are kept as raw JSON so the
-// router never re-encodes them; per-item took_us values come from the shards
-// and the top-level took_us is the router's wall time for the whole fan-out.
+// responses back into request order. Items travel as raw byte spans of the
+// request body — the router never decodes them — and shard results are
+// scattered into the merged response zero-copy from pooled per-shard
+// buffers. The whole fan-out recycles its working state, which is what holds
+// BenchmarkShardFanout64's alloc gate; per-item took_us values come from the
+// shards and the top-level took_us stays 0 (clients sum per-result values).
 func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeErrorJSON(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBodySize))
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	var err error
+	if sc.body, err = appendReadAll(sc.body, http.MaxBytesReader(w, r.Body, s.maxBodySize)); err != nil {
+		writeErrorJSON(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return
+	}
+	arr, err := jsonspan.FindKey(sc.body, 0, "requests")
+	if err == nil && arr < 0 {
+		err = fmt.Errorf(`missing "requests" array`)
+	}
+	if err == nil {
+		sc.spans, err = jsonspan.AppendArraySpans(sc.spans[:0], sc.body, arr)
+	}
 	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		writeErrorJSON(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
 		return
 	}
-	var req struct {
-		Requests []json.RawMessage `json:"requests"`
-	}
-	if err := json.Unmarshal(raw, &req); err != nil {
-		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+	if len(sc.spans) == 0 {
+		writeErrorJSON(w, http.StatusBadRequest, "bad_request", "empty batch: requests must contain at least one context")
 		return
 	}
-	if len(req.Requests) == 0 {
-		http.Error(w, "empty batch: requests must contain at least one context", http.StatusBadRequest)
-		return
-	}
-	if len(req.Requests) > s.maxBatch {
-		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.maxBatch), http.StatusBadRequest)
+	if len(sc.spans) > s.maxBatch {
+		writeErrorJSON(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d exceeds limit %d", len(sc.spans), s.maxBatch))
 		return
 	}
 
-	// Partition items by owning shard, remembering original positions.
-	perShardItems := make([][]json.RawMessage, s.ring.Shards())
-	perShardIdx := make([][]int, s.ring.Shards())
-	for i, item := range req.Requests {
-		var it shardBatchItem
-		if err := json.Unmarshal(item, &it); err != nil {
-			http.Error(w, fmt.Sprintf("requests[%d]: %v", i, err), http.StatusBadRequest)
+	// Assign each item span its owning shard by context hash.
+	for i, sp := range sc.spans {
+		h, err := hashJSONContext(sc.body[sp[0]:sp[1]])
+		if err != nil {
+			writeErrorJSON(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("requests[%d]: %v", i, err))
 			return
 		}
-		shard := s.ring.Lookup(hashStringContext(it.Context))
-		perShardItems[shard] = append(perShardItems[shard], item)
-		perShardIdx[shard] = append(perShardIdx[shard], i)
+		shard := s.ring.Lookup(h)
+		sc.shardOf = append(sc.shardOf, shard)
+		sc.counts[shard]++
 	}
 
-	// Fan the sub-batches out concurrently and merge by original index.
-	type shardReply struct {
-		shard int
-		err   error
+	// Fan the sub-batches out concurrently; each call owns pooled buffers
+	// that stay alive until the merge below.
+	for len(sc.results) < len(sc.spans) {
+		sc.results = append(sc.results, nil)
 	}
-	results := make([]json.RawMessage, len(req.Requests))
-	replies := make(chan shardReply)
-	active := 0
-	for shard, items := range perShardItems {
-		if len(items) == 0 {
+	sc.results = sc.results[:len(sc.spans)]
+	for shard, count := range sc.counts {
+		if count == 0 {
 			continue
 		}
-		active++
 		s.fanouts.Add(1)
-		s.perShard[shard].Add(uint64(len(items)))
-		go func(shard int, items []json.RawMessage, idx []int) {
-			err := s.forwardSubBatch(shard, items, idx, results)
-			replies <- shardReply{shard: shard, err: err}
-		}(shard, items, perShardIdx[shard])
-	}
-	var firstErr error
-	for ; active > 0; active-- {
-		if rep := <-replies; rep.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("shard %d: %w", rep.shard, rep.err)
+		s.perShard[shard].Add(uint64(count))
+		call, _ := s.calls.Get().(*shardCall)
+		if call == nil {
+			call = &shardCall{}
 		}
+		call.shard = shard
+		call.want = count
+		call.sub = append(call.sub, `{"requests":[`...)
+		first := true
+		for i, sp := range sc.spans {
+			if sc.shardOf[i] != shard {
+				continue
+			}
+			if !first {
+				call.sub = append(call.sub, ',')
+			}
+			first = false
+			call.sub = append(call.sub, sc.body[sp[0]:sp[1]]...)
+		}
+		call.sub = append(call.sub, `]}`...)
+		sc.calls = append(sc.calls, call)
+		sc.wg.Add(1)
+		go func(call *shardCall) {
+			defer sc.wg.Done()
+			call.err = s.exchangeSubBatch(call)
+		}(call)
 	}
-	if firstErr != nil {
-		http.Error(w, "bad gateway: "+firstErr.Error(), http.StatusBadGateway)
-		return
+	sc.wg.Wait()
+
+	// Scatter each shard's results back to the items' original positions.
+	for _, call := range sc.calls {
+		if call.err != nil {
+			writeErrorJSON(w, http.StatusBadGateway, "bad_gateway",
+				fmt.Sprintf("shard %d: %v", call.shard, call.err))
+			return
+		}
+		j := 0
+		for i := range sc.shardOf {
+			if sc.shardOf[i] != call.shard {
+				continue
+			}
+			sp := call.spans[j]
+			sc.results[i] = call.resp[sp[0]:sp[1]]
+			j++
+		}
 	}
 	s.batches.Add(1)
 
-	var body bytes.Buffer
-	body.Grow(len(raw))
-	body.WriteString(`{"results":[`)
-	for i, res := range results {
+	sc.out = append(sc.out, `{"results":[`...)
+	for i, res := range sc.results {
 		if i > 0 {
-			body.WriteByte(',')
+			sc.out = append(sc.out, ',')
 		}
-		body.Write(res)
+		sc.out = append(sc.out, res...)
 	}
-	body.WriteString(`],"took_us":`)
-	// The shards already timed themselves; the router reports 0 extra rather
-	// than double-counting (clients sum per-result took_us).
-	body.WriteString("0")
-	body.WriteByte('}')
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body.Bytes())
+	sc.out = append(sc.out, `],"took_us":0}`...)
+	w.Header()["Content-Type"] = jsonHeaderValue
+	w.Write(sc.out)
 }
 
-// forwardSubBatch sends one shard its items and scatters the returned
-// results into the merged slice. Distinct goroutines write disjoint indices,
-// so no lock is needed.
-func (s *ShardRouter) forwardSubBatch(shard int, items []json.RawMessage, idx []int, results []json.RawMessage) error {
-	var sub bytes.Buffer
-	sub.WriteString(`{"requests":[`)
-	for i, item := range items {
-		if i > 0 {
-			sub.WriteByte(',')
-		}
-		sub.Write(item)
+// parseResults splits the shard response's "results" array into element
+// spans inside the call's recycled span buffer.
+func (c *shardCall) parseResults() error {
+	arr, err := jsonspan.FindKey(c.resp, 0, "results")
+	if err == nil && arr < 0 {
+		err = fmt.Errorf(`missing "results" array`)
 	}
-	sub.WriteString(`]}`)
-	status, resp, err := s.tr.Exchange(shard, "/suggest/batch", sub.Bytes())
+	if err == nil {
+		c.spans, err = jsonspan.AppendArraySpans(c.spans[:0], c.resp, arr)
+	}
+	if err != nil {
+		return fmt.Errorf("decoding shard response: %w", err)
+	}
+	if len(c.spans) != c.want {
+		return fmt.Errorf("shard answered %d results for %d items", len(c.spans), c.want)
+	}
+	return nil
+}
+
+// exchangeSubBatch posts one shard's sub-batch and parses the result spans
+// out of its response, all into the call's recycled buffers.
+func (s *ShardRouter) exchangeSubBatch(call *shardCall) error {
+	status, resp, err := s.tr.Exchange(call.shard, "/suggest/batch", call.sub, call.resp)
+	call.resp = resp
 	if err != nil {
 		return err
 	}
 	if status != http.StatusOK {
 		return fmt.Errorf("status %d: %s", status, bytes.TrimSpace(resp))
 	}
-	var out struct {
-		Results []json.RawMessage `json:"results"`
+	return call.parseResults()
+}
+
+// jsonHeaderValue is the shared Content-Type slice for allocation-free
+// header assignment.
+var jsonHeaderValue = []string{"application/json"}
+
+// redirectV1 301s a legacy unversioned admin path to its /v1/ home.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
 	}
-	if err := json.Unmarshal(resp, &out); err != nil {
-		return fmt.Errorf("decoding shard response: %w", err)
-	}
-	if len(out.Results) != len(idx) {
-		return fmt.Errorf("shard answered %d results for %d items", len(out.Results), len(idx))
-	}
-	for i, res := range out.Results {
-		results[idx[i]] = res
-	}
-	return nil
+	http.Redirect(w, r, target, http.StatusMovedPermanently)
+}
+
+// writeErrorJSON answers a non-2xx with the consistent error envelope
+// {"error":{"code","message"}} every handler in the repository uses.
+func writeErrorJSON(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	var buf [256]byte
+	b := append(buf[:0], `{"error":{"code":`...)
+	b = strconv.AppendQuote(b, code)
+	b = append(b, `,"message":`...)
+	b = strconv.AppendQuote(b, msg)
+	b = append(b, `}}`...)
+	b = append(b, '\n')
+	w.Write(b)
 }
 
 // ShardRouterHealth is the shard router's /healthz payload.
@@ -545,8 +726,8 @@ func hashRawQueryContext(raw string) uint64 {
 	return h
 }
 
-// hashStringContext hashes a decoded context — the batch path's counterpart
-// of hashRawQueryContext.
+// hashStringContext hashes a decoded context — the GET path's
+// hashRawQueryContext counterpart for contexts already held as strings.
 func hashStringContext(context []string) uint64 {
 	h := uint64(fnvOffset64)
 	for _, q := range context {

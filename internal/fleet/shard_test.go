@@ -16,7 +16,7 @@ import (
 	"repro/internal/serve"
 )
 
-func shardTestRec(t testing.TB) *core.Recommender {
+func shardTestRec(t testing.TB) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	a, b, c := d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")
@@ -56,7 +56,7 @@ func getBody(t *testing.T, url string) ([]byte, http.Header, int) {
 
 // newLoopbackRing builds a 3-shard loopback ring over handlers sharing one
 // model — the in-process deployment of the consistent-hash fan-out.
-func newLoopbackRing(t *testing.T, rec *core.Recommender, shards int) *fleet.ShardRouter {
+func newLoopbackRing(t *testing.T, rec core.Recommender, shards int) *fleet.ShardRouter {
 	t.Helper()
 	handlers := make([]http.Handler, shards)
 	for i := range handlers {
@@ -257,7 +257,7 @@ func TestRingReloadBroadcast(t *testing.T) {
 	for i := range handlers {
 		handlers[i] = serve.New(rec, serve.Options{
 			DefaultN:   5,
-			ReloadFunc: func() (*core.Recommender, error) { return shardTestRec(t), nil },
+			ReloadFunc: func() (core.Recommender, error) { return shardTestRec(t), nil },
 		})
 		asHTTP[i] = handlers[i]
 	}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/query"
@@ -54,6 +55,10 @@ type Model struct {
 	// logLik records the per-iteration training log10-likelihood, for the
 	// EM monotonicity guarantee (and its test).
 	logLik []float64
+	// scratch pools PredictInto working sets (forward-pass vectors and the
+	// candidate pool) — the per-arm scratch pool behind the zero-allocation
+	// serving contract.
+	scratch sync.Pool
 }
 
 // Train fits an HMM by Baum-Welch over aggregated sessions.
@@ -388,41 +393,13 @@ func (m *Model) Covers(ctx query.Seq) bool {
 }
 
 // Predict implements model.Predictor: pool each probable next state's top
-// emissions and score them by the exact marginal Σ_z P(z|ctx)·b_z(q).
+// emissions and score them by the exact marginal Σ_z P(z|ctx)·b_z(q). It is
+// PredictInto with a fresh output slice (evaluation convenience; serving
+// goes through PredictInto and recycled buffers).
 func (m *Model) Predict(ctx query.Seq, topN int) []model.Prediction {
-	if !m.Covers(ctx) || topN <= 0 {
+	out := m.PredictInto(nil, ctx, topN)
+	if len(out) == 0 {
 		return nil
-	}
-	next := m.nextStateDist(ctx)
-	cands := make(map[query.ID]struct{})
-	for i, p := range next {
-		if p < 0.02 {
-			continue
-		}
-		limit := 4 * topN
-		if limit > len(m.topEmit[i]) {
-			limit = len(m.topEmit[i])
-		}
-		for _, q := range m.topEmit[i][:limit] {
-			cands[q] = struct{}{}
-		}
-	}
-	out := make([]model.Prediction, 0, len(cands))
-	for q := range cands {
-		var score float64
-		for i, p := range next {
-			score += p * m.emit[i][q]
-		}
-		out = append(out, model.Prediction{Query: q, Score: score})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Query < out[j].Query
-	})
-	if len(out) > topN {
-		out = out[:topN]
 	}
 	return out
 }

@@ -1,0 +1,111 @@
+package hmm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// magicHMM tags a serialized HMM payload (inside a QRECF001 container or
+// standalone).
+const magicHMM = "HMMQ"
+
+// WriteTo serializes the trained model — dimensions, π, transition and
+// emission matrices, the seen mask and the EM trajectory. It implements
+// io.WriterTo so the model can ride in a core family container and be
+// measured by store.Footprint.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	sw := store.NewWriter(w)
+	sw.Magic(magicHMM)
+	sw.Int(m.k)
+	sw.Int(m.vocab)
+	for _, v := range m.pi {
+		sw.Float64(v)
+	}
+	for i := 0; i < m.k; i++ {
+		for _, v := range m.trans[i] {
+			sw.Float64(v)
+		}
+	}
+	for i := 0; i < m.k; i++ {
+		for _, v := range m.emit[i] {
+			sw.Float64(v)
+		}
+	}
+	seen := make([]byte, m.vocab)
+	for q, s := range m.seen {
+		if s {
+			seen[q] = 1
+		}
+	}
+	sw.Bytes(seen)
+	sw.Int(len(m.logLik))
+	for _, v := range m.logLik {
+		sw.Float64(v)
+	}
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
+}
+
+// Read decodes a model written by WriteTo and rebuilds the derived
+// per-state top-emission index, leaving the model ready to serve.
+func Read(rd io.Reader) (*Model, error) {
+	sr := store.NewReader(rd)
+	sr.Magic(magicHMM)
+	k := sr.Int()
+	vocab := sr.Int()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	if k < 1 || vocab < 1 || k > 1<<16 {
+		return nil, fmt.Errorf("hmm: implausible dimensions %d states × %d vocab: %w", k, vocab, store.ErrCorrupt)
+	}
+	m := &Model{k: k, vocab: vocab}
+	m.pi = make([]float64, k)
+	for i := range m.pi {
+		m.pi[i] = sr.Float64()
+	}
+	m.trans = make([][]float64, k)
+	for i := range m.trans {
+		row := make([]float64, k)
+		for j := range row {
+			row[j] = sr.Float64()
+		}
+		m.trans[i] = row
+	}
+	m.emit = make([][]float64, k)
+	for i := range m.emit {
+		row := make([]float64, vocab)
+		for j := range row {
+			row[j] = sr.Float64()
+		}
+		m.emit[i] = row
+	}
+	seen := sr.Bytes()
+	if sr.Err() == nil && len(seen) != vocab {
+		return nil, fmt.Errorf("hmm: seen mask of %d bytes, want %d: %w", len(seen), vocab, store.ErrCorrupt)
+	}
+	m.seen = make([]bool, vocab)
+	for q, b := range seen {
+		m.seen[q] = b != 0
+	}
+	n := sr.Int()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("hmm: implausible EM trajectory of %d entries: %w", n, store.ErrCorrupt)
+	}
+	m.logLik = make([]float64, n)
+	for i := range m.logLik {
+		m.logLik[i] = sr.Float64()
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+	m.buildTopEmit(64)
+	return m, nil
+}

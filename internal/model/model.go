@@ -16,7 +16,7 @@ type Prediction struct {
 
 // Predictor is the contract of a trained query prediction model.
 type Predictor interface {
-	// Name returns the display name used in tables ("Adj.", "MVMM", ...).
+	// Name returns the display name used in tables ("Adjacency", "MVMM", ...).
 	Name() string
 	// Predict returns up to topN ranked predictions of the user's next
 	// query given the context (the paper's s = [q1, ..., qi-1]).

@@ -45,8 +45,10 @@ func freeze(m map[query.ID]*markov.Dist) {
 	}
 }
 
-// Name implements model.Predictor.
-func (m *Adjacency) Name() string { return "Adj." }
+// Name implements model.Predictor. "Adjacency" is the stable display name
+// (table rows, /v1/models, X-Serve-Arm); the arm identifier is
+// compiled.FamilyAdjacency.
+func (m *Adjacency) Name() string { return "Adjacency" }
 
 func (m *Adjacency) dist(ctx query.Seq) *markov.Dist {
 	if len(ctx) == 0 {
@@ -114,8 +116,9 @@ func NewCooccurrence(sessions []query.Session, vocab int) *Cooccurrence {
 	return m
 }
 
-// Name implements model.Predictor.
-func (m *Cooccurrence) Name() string { return "Co-occ." }
+// Name implements model.Predictor. "Co-occurrence" is the stable display
+// name; the arm identifier is compiled.FamilyCooccurrence.
+func (m *Cooccurrence) Name() string { return "Co-occurrence" }
 
 func (m *Cooccurrence) dist(ctx query.Seq) *markov.Dist {
 	if len(ctx) == 0 {

@@ -1,0 +1,56 @@
+package pairwise
+
+import (
+	"repro/internal/compiled"
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+// PredictInto implements compiled.Predictor for the Adjacency baseline: the
+// follower distribution of the context's last query, appended from its
+// frozen ranking — no allocations with a recycled dst.
+func (m *Adjacency) PredictInto(dst []model.Prediction, ctx query.Seq, topN int) []model.Prediction {
+	d := m.dist(ctx)
+	if d == nil {
+		return dst
+	}
+	return d.AppendTopN(dst, topN)
+}
+
+// Shape implements compiled.Predictor.
+func (m *Adjacency) Shape() compiled.Shape {
+	return compiled.Shape{
+		Family:    compiled.FamilyAdjacency,
+		Label:     m.Name(),
+		Vocab:     m.vocab,
+		States:    len(m.follow),
+		Depth:     1,
+		ZeroAlloc: true,
+	}
+}
+
+// PredictInto implements compiled.Predictor for the Co-occurrence baseline.
+func (m *Cooccurrence) PredictInto(dst []model.Prediction, ctx query.Seq, topN int) []model.Prediction {
+	d := m.dist(ctx)
+	if d == nil {
+		return dst
+	}
+	return d.AppendTopN(dst, topN)
+}
+
+// Shape implements compiled.Predictor.
+func (m *Cooccurrence) Shape() compiled.Shape {
+	return compiled.Shape{
+		Family:    compiled.FamilyCooccurrence,
+		Label:     m.Name(),
+		Vocab:     m.vocab,
+		States:    len(m.with),
+		Depth:     1,
+		ZeroAlloc: true,
+	}
+}
+
+var (
+	_ compiled.Predictor = (*Adjacency)(nil)
+	_ compiled.Predictor = (*Cooccurrence)(nil)
+)

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jsonspan"
+	"repro/internal/query"
+)
+
+// POST /suggest/batch without encoding/json on the hot path: the body is
+// read into a pooled buffer, split into item spans with internal/jsonspan,
+// and each item's context strings are unescaped into pooled flat storage and
+// interned byte-wise — no Go string is ever materialised for a context. The
+// response echoes each item's context array span verbatim from the request
+// body (zero-copy) around the pooled append-style suggestion encoder. The
+// shard fan-out drives 64-item batches through this path per sub-batch, so
+// its allocation discipline is what BenchmarkShardFanout64 gates.
+
+// batchItemSpan is one parsed batch item: where its context array lives in
+// the body (for the verbatim echo), which decoded tokens are its context
+// queries, and its requested n.
+type batchItemSpan struct {
+	ctxSpan      [2]int32 // raw "context" array value span in body
+	tokLo, tokHi int32    // token range in spans/raw
+	n            int
+}
+
+// batchScratch pools every per-batch buffer of suggestBatch.
+type batchScratch struct {
+	body  []byte
+	items []batchItemSpan
+	spans [][2]int32 // decoded token spans into flat
+	flat  []byte     // decoded context tokens, back to back
+	raw   [][]byte   // views into flat, one per token
+	ids   query.Seq  // interned IDs, back to back
+	idOff []int32    // per-item offsets into ids (len(items)+1)
+	ctxs  []query.Seq
+	ns    []int
+	out   [][]core.Suggestion
+	resp  []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		body: make([]byte, 0, 4096),
+		flat: make([]byte, 0, 1024),
+		resp: make([]byte, 0, 4096),
+	}
+}}
+
+func putBatchScratch(bb *batchScratch) {
+	clear(bb.raw) // do not retain body-derived views in the pool
+	clear(bb.out)
+	clear(bb.ctxs)
+	bb.body = bb.body[:0]
+	bb.items = bb.items[:0]
+	bb.spans = bb.spans[:0]
+	bb.flat = bb.flat[:0]
+	bb.raw = bb.raw[:0]
+	bb.ids = bb.ids[:0]
+	bb.idOff = bb.idOff[:0]
+	bb.ctxs = bb.ctxs[:0]
+	bb.ns = bb.ns[:0]
+	bb.out = bb.out[:0]
+	bb.resp = bb.resp[:0]
+	batchScratchPool.Put(bb)
+}
+
+// appendReadAll reads rd to EOF, appending to buf — io.ReadAll with a
+// recycled destination.
+func appendReadAll(buf []byte, rd io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// parseBatchBody splits the request body into batch item spans, rejecting
+// unknown fields like the previous encoding/json decoder did
+// (DisallowUnknownFields). Only spans and token positions are recorded; no
+// item bytes are copied except unescaped context tokens into flat.
+func (bb *batchScratch) parseBatchBody() error {
+	b := bb.body
+	i := jsonspan.SkipSpace(b, 0)
+	if i >= len(b) || b[i] != '{' {
+		return fmt.Errorf("expected a JSON object")
+	}
+	i++
+	sawRequests := false
+	for {
+		i = jsonspan.SkipSpace(b, i)
+		if i >= len(b) {
+			return fmt.Errorf("unterminated object")
+		}
+		if b[i] == '}' {
+			break
+		}
+		if b[i] == ',' {
+			i++
+			continue
+		}
+		if b[i] != '"' {
+			return fmt.Errorf("expected object key at offset %d", i)
+		}
+		keyEnd, err := jsonspan.SkipString(b, i)
+		if err != nil {
+			return err
+		}
+		key := b[i+1 : keyEnd-1]
+		i = jsonspan.SkipSpace(b, keyEnd)
+		if i >= len(b) || b[i] != ':' {
+			return fmt.Errorf("expected ':' at offset %d", i)
+		}
+		i++
+		if string(key) != "requests" {
+			return fmt.Errorf("unknown field %q", key)
+		}
+		sawRequests = true
+		if i, err = bb.parseItems(i); err != nil {
+			return err
+		}
+	}
+	if !sawRequests {
+		return fmt.Errorf(`missing "requests" array`)
+	}
+	return nil
+}
+
+// parseItems parses the "requests" array starting at bb.body[i], returning
+// the index after it.
+func (bb *batchScratch) parseItems(i int) (int, error) {
+	b := bb.body
+	i = jsonspan.SkipSpace(b, i)
+	if i >= len(b) || b[i] != '[' {
+		return 0, fmt.Errorf(`"requests" must be an array`)
+	}
+	i++
+	for {
+		i = jsonspan.SkipSpace(b, i)
+		if i >= len(b) {
+			return 0, fmt.Errorf("unterminated requests array")
+		}
+		if b[i] == ']' {
+			return i + 1, nil
+		}
+		if b[i] == ',' {
+			i++
+			continue
+		}
+		var err error
+		if i, err = bb.parseItem(i); err != nil {
+			return 0, fmt.Errorf("requests[%d]: %w", len(bb.items)-1, err)
+		}
+	}
+}
+
+// parseItem parses one batch item object starting at bb.body[i]: its context
+// array span is recorded for the verbatim echo, each context string is
+// unescaped into flat, and n is parsed in place.
+func (bb *batchScratch) parseItem(i int) (int, error) {
+	bb.items = append(bb.items, batchItemSpan{tokLo: int32(len(bb.spans)), tokHi: int32(len(bb.spans))})
+	item := &bb.items[len(bb.items)-1]
+	b := bb.body
+	i = jsonspan.SkipSpace(b, i)
+	if i >= len(b) || b[i] != '{' {
+		return 0, fmt.Errorf("expected an object")
+	}
+	i++
+	for {
+		i = jsonspan.SkipSpace(b, i)
+		if i >= len(b) {
+			return 0, fmt.Errorf("unterminated item object")
+		}
+		if b[i] == '}' {
+			return i + 1, nil
+		}
+		if b[i] == ',' {
+			i++
+			continue
+		}
+		if b[i] != '"' {
+			return 0, fmt.Errorf("expected object key at offset %d", i)
+		}
+		keyEnd, err := jsonspan.SkipString(b, i)
+		if err != nil {
+			return 0, err
+		}
+		key := b[i+1 : keyEnd-1]
+		i = jsonspan.SkipSpace(b, keyEnd)
+		if i >= len(b) || b[i] != ':' {
+			return 0, fmt.Errorf("expected ':' at offset %d", i)
+		}
+		i++
+		switch string(key) {
+		case "context":
+			i = jsonspan.SkipSpace(b, i)
+			start := i
+			if i, err = bb.parseContext(i, item); err != nil {
+				return 0, err
+			}
+			item.ctxSpan = [2]int32{int32(start), int32(i)}
+		case "n":
+			i = jsonspan.SkipSpace(b, i)
+			numStart := i
+			if i, err = jsonspan.SkipValue(b, i); err != nil {
+				return 0, err
+			}
+			v, err := strconv.Atoi(string(b[numStart:i]))
+			if err != nil {
+				return 0, fmt.Errorf("n must be an integer")
+			}
+			item.n = v
+		default:
+			return 0, fmt.Errorf("unknown field %q", key)
+		}
+	}
+}
+
+// parseContext parses the item's context string array, unescaping each
+// element into flat and recording its token span.
+func (bb *batchScratch) parseContext(i int, item *batchItemSpan) (int, error) {
+	b := bb.body
+	if i >= len(b) || b[i] != '[' {
+		return 0, fmt.Errorf("context must be an array of strings")
+	}
+	i++
+	for {
+		i = jsonspan.SkipSpace(b, i)
+		if i >= len(b) {
+			return 0, fmt.Errorf("unterminated context array")
+		}
+		if b[i] == ']' {
+			return i + 1, nil
+		}
+		if b[i] == ',' {
+			i++
+			continue
+		}
+		if b[i] != '"' {
+			return 0, fmt.Errorf("context must be an array of strings")
+		}
+		end, err := jsonspan.SkipString(b, i)
+		if err != nil {
+			return 0, err
+		}
+		start := len(bb.flat)
+		bb.flat = jsonspan.AppendUnescaped(bb.flat, b[i+1:end-1])
+		bb.spans = append(bb.spans, [2]int32{int32(start), int32(len(bb.flat))})
+		item.tokHi = int32(len(bb.spans))
+		i = end
+	}
+}
+
+// suggestBatch scores a whole batch through one shared-scratch batched trie
+// descent per arm (cache misses only; hits come straight from the LRU) and
+// encodes the response with the pooled append encoder. See the file comment
+// for the allocation discipline.
+func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	bb := batchScratchPool.Get().(*batchScratch)
+	defer putBatchScratch(bb)
+	var err error
+	if bb.body, err = appendReadAll(bb.body, http.MaxBytesReader(w, r.Body, 1<<22)); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return
+	}
+	if err := bb.parseBatchBody(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(bb.items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch: requests must contain at least one context")
+		return
+	}
+	if len(bb.items) > h.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d exceeds limit %d", len(bb.items), h.opts.MaxBatch))
+		return
+	}
+	for i := range bb.items {
+		item := &bb.items[i]
+		if item.tokHi == item.tokLo {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("requests[%d]: empty context", i))
+			return
+		}
+		if item.n < 0 || item.n > h.opts.MaxN {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("requests[%d]: n must be in [1,%d] (or omitted)", i, h.opts.MaxN))
+			return
+		}
+		n := item.n
+		if n == 0 {
+			n = h.opts.DefaultN
+		}
+		bb.ns = append(bb.ns, n)
+	}
+	// Materialise token views only now: flat has stopped growing, so the
+	// subslices cannot dangle.
+	for _, sp := range bb.spans {
+		bb.raw = append(bb.raw, bb.flat[sp[0]:sp[1]])
+	}
+	// Intern every context against the serving dictionary (the router's base
+	// dictionary in fleet mode), back to back; views follow once ids is
+	// stable.
+	st := h.state.Load()
+	bb.idOff = append(bb.idOff, 0)
+	for i := range bb.items {
+		item := &bb.items[i]
+		toks := bb.raw[item.tokLo:item.tokHi]
+		if h.fleet != nil {
+			bb.ids = h.fleet.AppendContextBytes(bb.ids, toks)
+		} else {
+			bb.ids = core.AppendContextBytes(st.rec.Dict(), bb.ids, toks)
+		}
+		bb.idOff = append(bb.idOff, int32(len(bb.ids)))
+	}
+	for i := range bb.items {
+		bb.ctxs = append(bb.ctxs, bb.ids[bb.idOff[i]:bb.idOff[i+1]])
+		bb.out = append(bb.out, nil)
+	}
+	batchStart := time.Now()
+	if h.fleet != nil {
+		h.recommendBatchFleet(bb)
+	} else {
+		h.cache.RecommendBatchSlot(0, st.gen, st.rec, bb.ctxs, bb.ns, bb.out)
+	}
+	elapsed := time.Since(batchStart).Microseconds()
+	perCtx := elapsed / int64(len(bb.items))
+	for range bb.items {
+		h.m.lat.record(perCtx)
+	}
+	bb.resp = append(bb.resp[:0], `{"results":[`...)
+	for i := range bb.out {
+		if i > 0 {
+			bb.resp = append(bb.resp, ',')
+		}
+		bb.resp = append(bb.resp, `{"context":`...)
+		sp := bb.items[i].ctxSpan
+		bb.resp = append(bb.resp, bb.body[sp[0]:sp[1]]...)
+		bb.resp = append(bb.resp, ',')
+		bb.resp = appendSuggestions(bb.resp, bb.out[i])
+		bb.resp = append(bb.resp, `,"took_us":`...)
+		bb.resp = strconv.AppendInt(bb.resp, perCtx, 10)
+		bb.resp = append(bb.resp, '}')
+	}
+	bb.resp = append(bb.resp, `],"took_us":`...)
+	bb.resp = strconv.AppendInt(bb.resp, elapsed, 10)
+	bb.resp = append(bb.resp, '}')
+	h.m.batches.Add(1)
+	h.m.batchContexts.Add(uint64(len(bb.items)))
+	setJSONContentType(w)
+	w.Write(bb.resp)
+}

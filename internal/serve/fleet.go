@@ -21,6 +21,10 @@ import (
 // BenchmarkRouteAB pins it there.
 
 // suggestFleet is the fleet twin of the single-model suggest fast path.
+// When the serving arm carries a reranker, the cached answer is copied into
+// the request scratch and reordered there — cache-owned slices are immutable
+// — before encoding; the shadow scorer sees the reranked list (it is what
+// the user was served).
 func (h *Handler) suggestFleet(w http.ResponseWriter, b *reqScratch, n int) {
 	rt := h.fleet
 	start := time.Now()
@@ -32,6 +36,10 @@ func (h *Handler) suggestFleet(w http.ResponseWriter, b *reqScratch, n int) {
 	var recs []core.Suggestion
 	if len(b.ctx) > 0 {
 		recs = h.cache.RecommendSlot(slot.ID(), st.Gen, st.Rec, b.ctx, n)
+	}
+	if rk := arm.Reranker(); rk != nil && len(recs) > 1 {
+		b.rerank = rk.Rerank(b.ctx, recs, b.rerank[:0])
+		recs = b.rerank
 	}
 	took := time.Since(start).Microseconds()
 	h.m.suggests.Add(1)
@@ -46,11 +54,12 @@ func (h *Handler) suggestFleet(w http.ResponseWriter, b *reqScratch, n int) {
 	w.Write(b.body)
 }
 
-// recommendBatchFleet resolves a batch in fleet mode: every context is
-// interned once against the router's base dictionary, routed to its sticky
-// arm, and the per-arm groups are scored through the shared cache with one
-// batched trie descent per arm. Batch items are not shadow-scored (shadow
-// divergence samples the interactive path).
+// recommendBatchFleet resolves a batch in fleet mode: the contexts were
+// already interned once against the router's base dictionary by the batch
+// parser; here each is routed to its sticky arm and the per-arm groups are
+// scored through the shared cache with one batched trie descent per arm.
+// Batch items are not shadow-scored or reranked (shadow divergence and
+// second-stage ranking sample the interactive path).
 func (h *Handler) recommendBatchFleet(bb *batchScratch) {
 	rt := h.fleet
 	arms := rt.Arms()
@@ -59,8 +68,7 @@ func (h *Handler) recommendBatchFleet(bb *batchScratch) {
 		ctxs []query.Seq
 		ns   []int
 	}, len(arms))
-	for i, context := range bb.contexts {
-		ctx := rt.AppendContext(make(query.Seq, 0, len(context)), context)
+	for i, ctx := range bb.ctxs {
 		armIdx := rt.Route(ctx)
 		g := &groups[armIdx]
 		g.idx = append(g.idx, i)
@@ -85,12 +93,12 @@ func (h *Handler) recommendBatchFleet(bb *batchScratch) {
 // reloadFleet serves POST /reload?model=<name>[&force=1] in fleet mode.
 func (h *Handler) reloadFleet(w http.ResponseWriter, name string, force bool, start time.Time) {
 	if name == "" {
-		http.Error(w, "fleet serving reloads by name: POST /reload?model=<name> (see /models)", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "fleet serving reloads by name: POST /v1/reload?model=<name> (see /v1/models)")
 		return
 	}
 	slot := h.fleet.Registry().Slot(name)
 	if slot == nil {
-		http.Error(w, fmt.Sprintf("unknown model %q (see /models)", name), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown model %q (see /v1/models)", name))
 		return
 	}
 	gen, err := slot.Reload(force)
@@ -112,10 +120,17 @@ func (h *Handler) reloadFleet(w http.ResponseWriter, name string, force bool, st
 	})
 }
 
-// ModelInfo is one registry slot's row in the GET /models payload.
+// ModelInfo is one registry slot's row in the GET /v1/models payload.
+// Family identifies the model family serving the slot (one of the
+// compiled.Family* identifiers: "mvmm", "hmm", "cluster", "adjacency",
+// "cooccurrence") and Label its human-readable form; Rerank names the arm's
+// optional second-stage ranker ("" when off, the default).
 type ModelInfo struct {
 	Name          string `json:"name"`
 	Role          string `json:"role"` // "champion", "arm", "shadow" or "default"
+	Family        string `json:"family,omitempty"`
+	Label         string `json:"family_label,omitempty"`
+	Rerank        string `json:"rerank,omitempty"`
 	Weight        uint32 `json:"weight"`
 	Generation    uint64 `json:"generation"`
 	DictHash      string `json:"dict_hash"`
@@ -139,12 +154,12 @@ type ModelsResponse struct {
 	Shadows      []fleet.ShadowStats `json:"shadows,omitempty"`
 }
 
-// models serves GET /models. In single-model mode it reports the one served
+// models serves GET /v1/models. In single-model mode it reports the one served
 // model under the name "default", so tooling can treat every deployment
 // uniformly.
 func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	if h.fleet == nil {
@@ -157,6 +172,7 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 	rt := h.fleet
 	roles := make(map[string]string)
 	weights := make(map[string]uint32)
+	reranks := make(map[string]string)
 	for i, a := range rt.Arms() {
 		role := "arm"
 		if i == 0 {
@@ -164,6 +180,9 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 		}
 		roles[a.Slot().Name()] = role
 		weights[a.Slot().Name()] = a.Weight()
+		if rk := a.Reranker(); rk != nil {
+			reranks[a.Slot().Name()] = rk.Name()
+		}
 	}
 	for _, s := range rt.ShadowSlots() {
 		roles[s.Name()] = "shadow"
@@ -179,14 +198,15 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 		if role == "" {
 			role = "unrouted"
 		}
-		resp.Models = append(resp.Models,
-			modelInfo(slot.Name(), role, weights[slot.Name()], st.Gen, st.Rec, true))
+		mi := modelInfo(slot.Name(), role, weights[slot.Name()], st.Gen, st.Rec, true)
+		mi.Rerank = reranks[slot.Name()]
+		resp.Models = append(resp.Models, mi)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // modelInfo assembles one ModelInfo row.
-func modelInfo(name, role string, weight uint32, gen uint64, rec *core.Recommender, reloadable bool) ModelInfo {
+func modelInfo(name, role string, weight uint32, gen uint64, rec core.Recommender, reloadable bool) ModelInfo {
 	info := ModelInfo{
 		Name:         name,
 		Role:         role,
@@ -195,6 +215,11 @@ func modelInfo(name, role string, weight uint32, gen uint64, rec *core.Recommend
 		DictHash:     fmt.Sprintf("%016x", rec.Dict().Hash()),
 		KnownQueries: rec.Dict().Len(),
 		Reloadable:   reloadable,
+	}
+	if p := rec.Predictor(); p != nil {
+		shape := p.Shape()
+		info.Family = shape.Family
+		info.Label = shape.Label
 	}
 	if cm := rec.CompiledModel(); cm != nil {
 		info.Compiled = true
@@ -222,17 +247,17 @@ type RouteInfo struct {
 // single-model mode every context reports the one model.
 func (h *Handler) routeInfo(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	context := r.URL.Query()["q"]
 	if len(context) == 0 {
-		http.Error(w, "missing q parameters (one per context query, oldest first)", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "missing q parameters (one per context query, oldest first)")
 		return
 	}
 	if h.fleet == nil {
 		st := h.state.Load()
-		ctx := st.rec.InternContext(context)
+		ctx := core.InternContext(st.rec.Dict(), context)
 		writeJSON(w, http.StatusOK, RouteInfo{
 			Context:     context,
 			InternedLen: len(ctx),

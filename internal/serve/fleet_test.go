@@ -21,7 +21,7 @@ func newFleetHandler(t *testing.T, champW, chalW uint32, shadow bool) (*Handler,
 	t.Helper()
 	reg := fleet.NewRegistry(1 << 10)
 	champ := testRecommender(t)
-	if _, err := reg.Add("champion", champ, func() (*core.Recommender, error) { return altRecommender(t), nil }); err != nil {
+	if _, err := reg.Add("champion", champ, func() (core.Recommender, error) { return altRecommender(t), nil }); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := reg.Add("challenger", altRecommender(t), nil); err != nil {
@@ -51,7 +51,7 @@ func newFleetHandler(t *testing.T, champW, chalW uint32, shadow bool) (*Handler,
 // hashes, leave the old model serving, and go through under force=1.
 func TestReloadDictIncompatible409(t *testing.T) {
 	h := New(testRecommender(t), Options{
-		ReloadFunc: func() (*core.Recommender, error) { return incompatibleRecommender(t), nil },
+		ReloadFunc: func() (core.Recommender, error) { return incompatibleRecommender(t), nil },
 	})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
@@ -60,7 +60,7 @@ func TestReloadDictIncompatible409(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var conflict DictConflict
+	var conflict ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&conflict); err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +68,11 @@ func TestReloadDictIncompatible409(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("incompatible reload status = %d, want 409", resp.StatusCode)
 	}
-	if len(conflict.OldDictHash) != 16 || len(conflict.NewDictHash) != 16 ||
-		conflict.OldDictHash == conflict.NewDictHash {
+	if conflict.Error.Code != "dict_incompatible" {
+		t.Fatalf("conflict code = %q, want dict_incompatible", conflict.Error.Code)
+	}
+	if len(conflict.Error.OldDictHash) != 16 || len(conflict.Error.NewDictHash) != 16 ||
+		conflict.Error.OldDictHash == conflict.Error.NewDictHash {
 		t.Fatalf("conflict must carry distinct dictionary hashes: %+v", conflict)
 	}
 	if h.Generation() != 1 {
@@ -388,7 +391,7 @@ func TestModelsEndpointSingleMode(t *testing.T) {
 func TestFleetReloadAdvancesBase(t *testing.T) {
 	reg := fleet.NewRegistry(1 << 10)
 	champ := testRecommender(t)
-	if _, err := reg.Add("champion", champ, func() (*core.Recommender, error) { return altRecommender(t), nil }); err != nil {
+	if _, err := reg.Add("champion", champ, func() (core.Recommender, error) { return altRecommender(t), nil }); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := reg.Add("challenger", altRecommender(t), nil); err != nil {

@@ -59,7 +59,7 @@ func (w *statusWriter) finish() {
 			h.opts.Logger.Printf("panic serving %s %s: %v\n%s", w.method, w.path, err, debug.Stack())
 		}
 		if !w.wrote {
-			http.Error(w, "internal server error", http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, "internal", "internal server error")
 		}
 	}
 	if w.status() >= 400 {

@@ -12,13 +12,22 @@
 //
 //	GET  /suggest?q=<query>&q=<query>...&n=5  ranked suggestions for a context
 //	POST /suggest/batch                       many contexts in one request
-//	GET  /healthz                             liveness + model/blob provenance
-//	GET  /metrics                             serving counters and latency quantiles
-//	POST /reload                              hot-swap the model (?model=<name> in
+//	GET  /v1/healthz                          liveness + model/blob provenance
+//	                                          (also unversioned: probes don't
+//	                                          follow redirects)
+//	GET  /v1/metrics                          serving counters, latency quantiles,
+//	                                          per-arm shadow divergence
+//	POST /v1/reload                           hot-swap the model (?model=<name> in
 //	                                          fleet mode, &force=1 to override the
 //	                                          409 dictionary-compatibility check)
-//	GET  /models                              model registry, roles, divergence
-//	GET  /route                               which arm/shard owns a context
+//	GET  /v1/models                           model registry, roles, families,
+//	                                          rerankers, divergence
+//	GET  /v1/route                            which arm/shard owns a context
+//
+// The admin endpoints moved under /v1/ in this release; the legacy
+// unversioned paths answer 301 (GETs) or serve as aliases (POST /reload,
+// which cannot survive a redirect) for one release. Every non-2xx response
+// carries the JSON error envelope {"error":{"code","message",...}}.
 //
 // With Options.Fleet set the handler serves a multi-model fleet
 // (internal/fleet): suggestion traffic is split across registry slots by
@@ -148,7 +157,7 @@ type Options struct {
 	Logger *log.Logger
 	// ReloadFunc, when set, enables POST /reload: it must return a freshly
 	// loaded recommender. Handler serialises calls.
-	ReloadFunc func() (*core.Recommender, error)
+	ReloadFunc func() (core.Recommender, error)
 	// Fleet, when set, routes every suggestion request through a multi-model
 	// router (A/B split, shadow scoring) instead of the single-model state:
 	// the handler serves from the router's registry slots and its shared
@@ -176,7 +185,7 @@ func (o Options) withDefaults() Options {
 // of every cache key, which keeps results computed against an old model
 // from answering for a new one across a hot reload.
 type modelState struct {
-	rec *core.Recommender
+	rec core.Recommender
 	gen uint64
 }
 
@@ -198,7 +207,7 @@ type Handler struct {
 // set, rec should be the router's champion model (it answers the single-model
 // accessors); suggestion traffic is then routed across the fleet's registry
 // slots and cached in the registry's shared slot-keyed cache.
-func New(rec *core.Recommender, opts Options) *Handler {
+func New(rec core.Recommender, opts Options) *Handler {
 	h := &Handler{
 		opts:  opts.withDefaults(),
 		fleet: opts.Fleet,
@@ -222,24 +231,41 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		h.suggest(w, r)
 	case "/suggest/batch":
 		h.suggestBatch(w, r)
-	case "/healthz":
+	case "/healthz", "/v1/healthz":
+		// Both paths serve directly: liveness probes do not follow 301s,
+		// so the legacy path stays a first-class alias, not a redirect.
 		h.health(w, r)
-	case "/metrics":
+	case "/v1/metrics":
 		h.metricsHandler(w, r)
-	case "/reload":
+	case "/v1/reload":
 		h.reload(w, r)
-	case "/models":
+	case "/v1/models":
 		h.models(w, r)
-	case "/route":
+	case "/v1/route":
 		h.routeInfo(w, r)
+	case "/metrics", "/models", "/route":
+		// Legacy admin GETs answer a 301 to their /v1/ home for one release.
+		redirectV1(w, r)
+	case "/reload":
+		// POST bodies and semantics do not survive a 301: alias for one release.
+		h.reload(w, r)
 	default:
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
 	}
+}
+
+// redirectV1 301s a legacy unversioned admin path to its /v1/ home.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusMovedPermanently)
 }
 
 // NewHandler wraps a trained recommender with default options. defaultN is
 // the suggestion count when the request omits n (the paper's N = 5).
-func NewHandler(rec *core.Recommender, defaultN int) *Handler {
+func NewHandler(rec core.Recommender, defaultN int) *Handler {
 	return New(rec, Options{DefaultN: defaultN})
 }
 
@@ -253,13 +279,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // no traffic is dropped. Returns the new generation. Unlike Reload, Swap
 // performs no dictionary compatibility check: the caller owns the model and
 // has decided.
-func (h *Handler) Swap(rec *core.Recommender) uint64 {
+func (h *Handler) Swap(rec core.Recommender) uint64 {
 	h.reloadMu.Lock()
 	defer h.reloadMu.Unlock()
 	return h.swapLocked(rec)
 }
 
-func (h *Handler) swapLocked(rec *core.Recommender) uint64 {
+func (h *Handler) swapLocked(rec core.Recommender) uint64 {
 	old := h.state.Load()
 	next := &modelState{rec: rec, gen: old.gen + 1}
 	h.state.Store(next)
@@ -311,11 +337,12 @@ func (h *Handler) Generation() uint64 { return h.state.Load().gen }
 // decoded q values (flat storage + per-value views), the interned context,
 // and the response body under construction.
 type reqScratch struct {
-	flat  []byte     // decoded q values, back to back
-	spans [][2]int32 // [start, end) of each q value within flat
-	raw   [][]byte   // views into flat, one per q value
-	ctx   query.Seq
-	body  []byte
+	flat   []byte     // decoded q values, back to back
+	spans  [][2]int32 // [start, end) of each q value within flat
+	raw    [][]byte   // views into flat, one per q value
+	ctx    query.Seq
+	rerank []core.Suggestion // reranked copy of a cached answer (fleet mode)
+	body   []byte
 }
 
 var reqScratchPool = sync.Pool{New: func() any {
@@ -333,6 +360,8 @@ func putReqScratch(b *reqScratch) {
 	b.spans = b.spans[:0]
 	b.raw = b.raw[:0]
 	b.ctx = b.ctx[:0]
+	clear(b.rerank) // do not retain suggestion strings in the pool
+	b.rerank = b.rerank[:0]
 	b.body = b.body[:0]
 	reqScratchPool.Put(b)
 }
@@ -439,18 +468,18 @@ func unhex(c byte) (byte, bool) {
 // in the handler itself.
 func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	b := reqScratchPool.Get().(*reqScratch)
 	defer putReqScratch(b)
 	n, badN := b.parseSuggestQuery(r.URL.RawQuery, h.opts.DefaultN, h.opts.MaxN)
 	if badN {
-		http.Error(w, fmt.Sprintf("n must be an integer in [1,%d]", h.opts.MaxN), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("n must be an integer in [1,%d]", h.opts.MaxN))
 		return
 	}
 	if len(b.raw) == 0 {
-		http.Error(w, "missing q parameters (one per context query, oldest first)", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "missing q parameters (one per context query, oldest first)")
 		return
 	}
 	if h.fleet != nil {
@@ -459,7 +488,7 @@ func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 	}
 	st := h.state.Load()
 	start := time.Now()
-	b.ctx = st.rec.AppendContextBytes(b.ctx[:0], b.raw)
+	b.ctx = core.AppendContextBytes(st.rec.Dict(), b.ctx[:0], b.raw)
 	var recs []core.Suggestion
 	if len(b.ctx) > 0 {
 		recs = h.cache.RecommendInterned(st.gen, st.rec, b.ctx, n)
@@ -472,104 +501,10 @@ func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 	w.Write(b.body)
 }
 
-// suggestBatch scores a whole batch through one shared-scratch batched trie
-// descent (cache misses only; hits come straight from the LRU) and encodes
-// the response with the pooled append encoder.
-func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	var req BatchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(req.Requests) == 0 {
-		http.Error(w, "empty batch: requests must contain at least one context", http.StatusBadRequest)
-		return
-	}
-	if len(req.Requests) > h.opts.MaxBatch {
-		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), h.opts.MaxBatch), http.StatusBadRequest)
-		return
-	}
-	for i, item := range req.Requests {
-		if len(item.Context) == 0 {
-			http.Error(w, fmt.Sprintf("requests[%d]: empty context", i), http.StatusBadRequest)
-			return
-		}
-		if item.N < 0 || item.N > h.opts.MaxN {
-			http.Error(w, fmt.Sprintf("requests[%d]: n must be in [1,%d] (or omitted)", i, h.opts.MaxN), http.StatusBadRequest)
-			return
-		}
-	}
-	st := h.state.Load()
-	bb := batchScratchPool.Get().(*batchScratch)
-	defer putBatchScratch(bb)
-	for _, item := range req.Requests {
-		n := item.N
-		if n == 0 {
-			n = h.opts.DefaultN
-		}
-		bb.ns = append(bb.ns, n)
-		bb.contexts = append(bb.contexts, item.Context)
-		bb.out = append(bb.out, nil)
-	}
-	batchStart := time.Now()
-	if h.fleet != nil {
-		h.recommendBatchFleet(bb)
-	} else {
-		h.cache.RecommendBatch(st.gen, st.rec, bb.contexts, bb.ns, bb.out)
-	}
-	elapsed := time.Since(batchStart).Microseconds()
-	perCtx := elapsed / int64(len(req.Requests))
-	for range req.Requests {
-		h.m.lat.record(perCtx)
-	}
-	bb.body = append(bb.body[:0], `{"results":[`...)
-	for i := range bb.out {
-		if i > 0 {
-			bb.body = append(bb.body, ',')
-		}
-		bb.body = appendSuggestResponse(bb.body, req.Requests[i].Context, bb.out[i], perCtx)
-	}
-	bb.body = append(bb.body, `],"took_us":`...)
-	bb.body = strconv.AppendInt(bb.body, elapsed, 10)
-	bb.body = append(bb.body, '}')
-	h.m.batches.Add(1)
-	h.m.batchContexts.Add(uint64(len(req.Requests)))
-	setJSONContentType(w)
-	w.Write(bb.body)
-}
-
-// batchScratch pools the per-batch slices of suggestBatch.
-type batchScratch struct {
-	contexts [][]string
-	ns       []int
-	out      [][]core.Suggestion
-	body     []byte
-}
-
-var batchScratchPool = sync.Pool{New: func() any {
-	return &batchScratch{body: make([]byte, 0, 4096)}
-}}
-
-func putBatchScratch(bb *batchScratch) {
-	clear(bb.contexts) // do not retain request slices in the pool
-	clear(bb.out)
-	bb.contexts = bb.contexts[:0]
-	bb.ns = bb.ns[:0]
-	bb.out = bb.out[:0]
-	bb.body = bb.body[:0]
-	batchScratchPool.Put(bb)
-}
-
 // servingState returns the request-path (model, generation) pair health and
 // metrics should describe: the champion slot in fleet mode, the single-model
 // state otherwise.
-func (h *Handler) servingState() (*core.Recommender, uint64) {
+func (h *Handler) servingState() (core.Recommender, uint64) {
 	if h.fleet != nil {
 		st := h.fleet.Arm(0).Slot().State()
 		return st.Rec, st.Gen
@@ -606,6 +541,10 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
 	rec, gen := h.servingState()
 	cs := h.cache.Stats()
 	sorted := h.m.lat.snapshot()
@@ -652,7 +591,7 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 // both dictionary hashes so the operator can decide whether to force.
 func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
 	q := r.URL.Query()
@@ -663,7 +602,7 @@ func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if h.opts.ReloadFunc == nil {
-		http.Error(w, "reload not configured", http.StatusNotImplemented)
+		writeError(w, http.StatusNotImplemented, "not_implemented", "reload not configured")
 		return
 	}
 	gen, err := h.ReloadForce(force)
@@ -679,31 +618,46 @@ func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// DictConflict is the 409 payload of a reload whose replacement model's
-// dictionary is not an ID-preserving extension of the served one.
-type DictConflict struct {
-	Error       string `json:"error"`
-	Model       string `json:"model"`
-	OldDictHash string `json:"old_dict_hash"`
-	NewDictHash string `json:"new_dict_hash"`
-	Hint        string `json:"hint"`
+// ErrorBody is the JSON error envelope every non-2xx response carries:
+// {"error":{"code","message",...}}. Code is a stable machine-readable slug;
+// Message is human-readable. Dictionary conflicts extend the envelope with
+// the structured DictConflict fields.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope's error object.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Dictionary-conflict details (code "dict_incompatible" only).
+	Model       string `json:"model,omitempty"`
+	OldDictHash string `json:"old_dict_hash,omitempty"`
+	NewDictHash string `json:"new_dict_hash,omitempty"`
+	Hint        string `json:"hint,omitempty"`
+}
+
+// writeError answers a non-2xx with the consistent error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
 }
 
 // writeReloadError maps reload failures to statuses: dictionary conflicts
-// are 409 with both hashes, everything else 500.
+// are 409 with both hashes in the envelope, everything else 500.
 func writeReloadError(w http.ResponseWriter, err error) {
 	var dictErr *fleet.ErrDictIncompatible
 	if errors.As(err, &dictErr) {
-		writeJSON(w, http.StatusConflict, DictConflict{
-			Error:       "incompatible dictionary: interned contexts would be misrouted",
+		writeJSON(w, http.StatusConflict, ErrorBody{Error: ErrorDetail{
+			Code:        "dict_incompatible",
+			Message:     "incompatible dictionary: interned contexts would be misrouted",
 			Model:       dictErr.Slot,
 			OldDictHash: fmt.Sprintf("%016x", dictErr.OldHash),
 			NewDictHash: fmt.Sprintf("%016x", dictErr.NewHash),
 			Hint:        "retrain with the served dictionary as a prefix, or POST /reload?force=1 to replace the vocabulary deliberately",
-		})
+		}})
 		return
 	}
-	http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+	writeError(w, http.StatusInternalServerError, "reload_failed", "reload failed: "+err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

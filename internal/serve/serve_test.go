@@ -11,7 +11,7 @@ import (
 	"repro/internal/query"
 )
 
-func testRecommender(t *testing.T) *core.Recommender {
+func testRecommender(t *testing.T) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	a, b, c := d.Intern("o2"), d.Intern("o2 mobile"), d.Intern("o2 mobile phones")

@@ -21,7 +21,7 @@ import (
 // recommender's (same base IDs, new vocabulary appended) but whose training
 // data covers only the new vocabulary — a compatible retrain, used to
 // observe hot reloads taking effect.
-func altRecommender(t testing.TB) *core.Recommender {
+func altRecommender(t testing.TB) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	d.Intern("o2")
@@ -41,7 +41,7 @@ func altRecommender(t testing.TB) *core.Recommender {
 
 // incompatibleRecommender trains a model whose dictionary permutes the base
 // IDs — the reload the compatibility check must refuse.
-func incompatibleRecommender(t testing.TB) *core.Recommender {
+func incompatibleRecommender(t testing.TB) core.Recommender {
 	t.Helper()
 	d := query.NewDict()
 	a, b := d.Intern("smtp"), d.Intern("pop3")
@@ -200,7 +200,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	mresp, err := http.Get(srv.URL + "/metrics")
+	mresp, err := http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestConcurrentSuggest(t *testing.T) {
 func TestReloadSwapsWithoutDroppingRequests(t *testing.T) {
 	alt := altRecommender(t)
 	h := New(testRecommender(t), Options{
-		ReloadFunc: func() (*core.Recommender, error) { return alt, nil },
+		ReloadFunc: func() (core.Recommender, error) { return alt, nil },
 	})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
@@ -368,7 +368,7 @@ func TestReloadErrors(t *testing.T) {
 
 	// Failing ReloadFunc -> 500, old model keeps serving.
 	h := New(testRecommender(t), Options{
-		ReloadFunc: func() (*core.Recommender, error) { return nil, fmt.Errorf("disk gone") },
+		ReloadFunc: func() (core.Recommender, error) { return nil, fmt.Errorf("disk gone") },
 	})
 	srv = httptest.NewServer(h)
 	defer srv.Close()
@@ -415,7 +415,7 @@ func TestPanicRecovery(t *testing.T) {
 
 func TestHealthGeneration(t *testing.T) {
 	h := New(testRecommender(t), Options{
-		ReloadFunc: func() (*core.Recommender, error) { return altRecommender(t), nil },
+		ReloadFunc: func() (core.Recommender, error) { return altRecommender(t), nil },
 	})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
@@ -441,7 +441,7 @@ func TestHealthGeneration(t *testing.T) {
 // flag through /healthz and /metrics — the observability contract for the
 // quantised deployment.
 func TestHealthReportsBlobProvenance(t *testing.T) {
-	rec := testRecommender(t)
+	rec := testRecommender(t).(*core.Engine)
 	path := filepath.Join(t.TempDir(), "model.bin")
 	f, err := os.Create(path)
 	if err != nil {
