@@ -4,18 +4,19 @@
 GO ?= go
 
 # Serving-path benchmarks tracked across PRs in BENCH_serving.json.
-SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkPredictHMM|BenchmarkRerankPairwise|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkPredictBatch64|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkCompiledBlobSize
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkPredictCPS5|BenchmarkPredictHMM|BenchmarkRerankPairwise|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkPredictBatch64|BenchmarkPredictBatch64Parallel|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkColdStartMmapV5|BenchmarkCompiledBlobSize|BenchmarkCompiledBlobSizeV5
 # Override for quick smoke runs: make bench-json BENCHTIME=10x
 BENCHTIME ?= 1s
 # Regression gates applied by cmd/benchjson after recording: the cached HTTP
 # serving path, the fleet A/B routing path and the per-family predict paths
-# (quantised MVMM, HMM, pairwise rerank) must stay within their allocation
-# budgets, the quantised CPS4 blob must stay >= 40% smaller than the exact
-# CPS3 blob on the benchmark model, and the 3-shard batch fan-out must hold
-# the pooled span-forwarding path (~25 allocs/batch today, dominated by the
+# (quantised MVMM, HMM, pairwise rerank, compact-edge CPS5) must stay within
+# their allocation budgets, the quantised CPS4 blob must stay >= 40% smaller
+# than the exact CPS3 blob and the compact-edge CPS5 blob >= 20% smaller than
+# CPS4 on the benchmark model, and the 3-shard batch fan-out must hold the
+# pooled span-forwarding path (~25 allocs/batch today, dominated by the
 # benchmark's own request construction; the 200 ceiling leaves headroom for
 # JSON noise, not for a per-item allocation, which would cost >= 64).
-BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkShardFanout64=200 -gate BenchmarkPredictQuantised=0 -gate BenchmarkPredictHMM=0 -gate BenchmarkRerankPairwise=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6
+BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkShardFanout64=200 -gate BenchmarkPredictQuantised=0 -gate BenchmarkPredictCPS5=0 -gate BenchmarkPredictHMM=0 -gate BenchmarkRerankPairwise=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6 -gate BenchmarkCompiledBlobSizeV5:cps5-over-cps4=0.8
 
 .PHONY: all build test race bench bench-json fmt fmt-check vet check-docs check-api ci serve loadgen clean
 
@@ -30,9 +31,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmark smoke: one iteration of every benchmark, no test re-runs.
+# Benchmark smoke: one iteration of every benchmark, no test re-runs. Run
+# twice — single-core and 4-core — so the parallel batch descent's worker
+# fan-out and its sequential fallback both execute.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	GOMAXPROCS=1 $(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	GOMAXPROCS=4 $(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Machine-readable serving benchmarks: appends a commit-stamped entry to the
 # BENCH_serving.json trajectory so perf history (ns/op, B/op, allocs/op) is

@@ -488,6 +488,41 @@ func BenchmarkPredictQuantised(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictCPS5 measures the compiled descent on the compact-edge
+// CPS5 form — varint-delta follower IDs decoded lazily per matched node.
+// allocs/op must stay 0 and ns/op must stay within 15% of the CPS4 descent.
+func BenchmarkPredictCPS5(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	c, _ := benchSetup(b)
+	ctxs := c.TestContexts(2, 256)
+	if len(ctxs) == 0 {
+		b.Skip("no contexts")
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	blob, err := cm.AppendFlat5(nil, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qm, err := compiled.FromBytes(blob, compiled.ViewAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !qm.Quantised() {
+		b.Fatal("CPS5 load is not quantised")
+	}
+	buf := make([]model.Prediction, 0, 8)
+	for _, ctx := range ctxs { // warm the scratch pool to steady state
+		buf = qm.AppendPredictions(buf[:0], ctx, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = qm.AppendPredictions(buf[:0], ctxs[i%len(ctxs)], 5)
+	}
+}
+
 // BenchmarkPredictHMM measures the HMM family arm's serving primitive — the
 // pooled-scratch forward pass behind PredictInto — on the shared corpus.
 // allocs/op must stay 0: the Predictor contract every fleet arm advertises
@@ -566,6 +601,32 @@ func BenchmarkCompiledBlobSize(b *testing.B) {
 	b.ReportMetric(float64(cps3), "cps3-bytes")
 	b.ReportMetric(float64(cps4), "cps4-bytes")
 	b.ReportMetric(float64(cps4)/float64(cps3), "cps4-over-cps3")
+}
+
+// BenchmarkCompiledBlobSizeV5 extends the Table VII footprint tracking to the
+// compact-edge tier: CPS4 vs CPS5 bytes plus their ratio, gated so the
+// varint-delta encoding must stay >= 20% smaller (ratio <= 0.8).
+func BenchmarkCompiledBlobSizeV5(b *testing.B) {
+	rec, _ := serveBenchSetup(b)
+	cm := rec.CompiledModel()
+	if cm == nil {
+		b.Fatal("recommender did not compile")
+	}
+	var cps4, cps5 int
+	for i := 0; i < b.N; i++ {
+		blob4, err := cm.AppendFlat4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob5, err := cm.AppendFlat5(nil, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cps4, cps5 = len(blob4), len(blob5)
+	}
+	b.ReportMetric(float64(cps4), "cps4-bytes")
+	b.ReportMetric(float64(cps5), "cps5-bytes")
+	b.ReportMetric(float64(cps5)/float64(cps4), "cps5-over-cps4")
 }
 
 // BenchmarkProbCompiled measures the allocation-free mixture probability.
@@ -856,18 +917,37 @@ func BenchmarkPredictSequential64(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictBatch64Parallel is the fanned-out side of the batched-
+// descent comparison: the same 64-context batch split across GOMAXPROCS
+// workers. Answers are bit-identical to BenchmarkPredictBatch64; at
+// GOMAXPROCS >= 4 the ns/context must beat the sequential batch.
+func BenchmarkPredictBatch64Parallel(b *testing.B) {
+	cm, ctxs, ns := batchBenchInputs(b)
+	var sink atomic.Int64
+	emit := func(i int, preds []model.Prediction) { sink.Add(int64(len(preds))) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.PredictBatchParallel(ctxs, ns, 0, emit)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/context")
+	if sink.Load() == 0 {
+		b.Fatal("batch produced no predictions")
+	}
+}
+
 // --- cold-start benchmarks ---------------------------------------------------
 
 var (
-	coldOnce               sync.Once
-	coldV2, coldV3, coldV4 string
-	coldErr                error
+	coldOnce                       sync.Once
+	coldV2, coldV3, coldV4, coldV5 string
+	coldErr                        error
 )
 
 // coldStartSetup persists the serving benchmark model once in all current
 // formats: V002 (varint compiled section, heap decode), V003 (exact flat
-// compiled section, mmap) and V004 (quantised flat compiled section, mmap).
-func coldStartSetup(b *testing.B) (v2, v3, v4 string) {
+// compiled section, mmap), V004 (quantised flat compiled section, mmap) and
+// V005 (compact-edge CPS5 section, mmap).
+func coldStartSetup(b *testing.B) (v2, v3, v4, v5 string) {
 	rec, _ := serveBenchSetup(b)
 	coldOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "repro-coldstart")
@@ -889,6 +969,7 @@ func coldStartSetup(b *testing.B) (v2, v3, v4 string) {
 		coldV2 = filepath.Join(dir, "model-v2.bin")
 		coldV3 = filepath.Join(dir, "model-v3.bin")
 		coldV4 = filepath.Join(dir, "model-v4.bin")
+		coldV5 = filepath.Join(dir, "model-v5.bin")
 		if err := write(coldV2, "QRECV002"); err != nil {
 			coldErr = err
 			return
@@ -897,19 +978,23 @@ func coldStartSetup(b *testing.B) (v2, v3, v4 string) {
 			coldErr = err
 			return
 		}
-		coldErr = write(coldV4, "QRECV004")
+		if err := write(coldV4, "QRECV004"); err != nil {
+			coldErr = err
+			return
+		}
+		coldErr = write(coldV5, "QRECV005")
 	})
 	if coldErr != nil {
 		b.Fatal(coldErr)
 	}
-	return coldV2, coldV3, coldV4
+	return coldV2, coldV3, coldV4, coldV5
 }
 
 // BenchmarkColdStartHeapV2 is the before side of the mmap comparison: a full
 // V002 load — dictionary, interpreted mixture, varint-decoded compiled
 // section — into freshly allocated heap structures.
 func BenchmarkColdStartHeapV2(b *testing.B) {
-	v2, _, _ := coldStartSetup(b)
+	v2, _, _, _ := coldStartSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec, err := core.LoadPath(v2)
@@ -926,7 +1011,7 @@ func BenchmarkColdStartHeapV2(b *testing.B) {
 // decode plus an mmap of the compiled section; the mixture stays on disk
 // until first use and trie pages fault in lazily.
 func BenchmarkColdStartMmapV3(b *testing.B) {
-	_, v3, _ := coldStartSetup(b)
+	_, v3, _, _ := coldStartSetup(b)
 	if _, err := core.LoadPath(v3); err != nil {
 		b.Fatal(err)
 	}
@@ -951,13 +1036,36 @@ func BenchmarkColdStartMmapV3(b *testing.B) {
 // the roughly-half-size CPS4 blob — same O(1) mapping work as V003, smaller
 // resident ceiling once pages fault in.
 func BenchmarkColdStartMmapV4(b *testing.B) {
-	_, _, v4 := coldStartSetup(b)
+	_, _, v4, _ := coldStartSetup(b)
 	if _, err := core.LoadPath(v4); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec, err := core.LoadPath(v4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cm := rec.CompiledModel(); cm == nil || !cm.Quantised() {
+			b.Fatal("no quantised compiled model")
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartMmapV5 is the compact-edge variant: a V005 LoadPath maps
+// the CPS5 blob and eagerly varint-decodes only the CSR offsets; follower
+// edges stay encoded until a descent touches their node.
+func BenchmarkColdStartMmapV5(b *testing.B) {
+	_, _, _, v5 := coldStartSetup(b)
+	if _, err := core.LoadPath(v5); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := core.LoadPath(v5)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -47,9 +47,12 @@ type Result struct {
 
 // Entry is one recorded run: environment header lines plus results keyed by
 // benchmark name (GOMAXPROCS suffix stripped), stamped with the git commit
-// it was measured at.
+// it was measured at. Dirty marks a run against uncommitted changes; the
+// commit stamp itself stays the clean short hash so reruns after committing
+// replace the provisional entry instead of duplicating it.
 type Entry struct {
 	Commit     string            `json:"commit"`
+	Dirty      bool              `json:"dirty,omitempty"`
 	GOOS       string            `json:"goos,omitempty"`
 	GOARCH     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
@@ -84,7 +87,8 @@ func main() {
 	flag.Var(&gates, "gate", "Benchmark=maxAllocs regression gate, repeatable; exits 1 when exceeded")
 	flag.Parse()
 
-	entry := Entry{Commit: resolveCommit(*commit), Benchmarks: make(map[string]Result)}
+	stamp, dirty := resolveCommit(*commit)
+	entry := Entry{Commit: stamp, Dirty: dirty, Benchmarks: make(map[string]Result)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -136,22 +140,32 @@ func main() {
 	}
 }
 
-// resolveCommit picks the entry stamp: explicit flag, BENCH_COMMIT (CI can
-// pass its SHA), then `git describe --always --dirty`.
-func resolveCommit(flagVal string) string {
+// resolveCommit picks the entry stamp — explicit flag, BENCH_COMMIT (CI can
+// pass its SHA), then `git describe --always --dirty` — and splits any
+// "-dirty" marker into the separate dirty flag so the recorded commit is
+// always the clean hash.
+func resolveCommit(flagVal string) (string, bool) {
 	if flagVal != "" {
-		return flagVal
+		return splitDirty(flagVal)
 	}
 	if env := os.Getenv("BENCH_COMMIT"); env != "" {
-		return env
+		return splitDirty(env)
 	}
 	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
 	if err == nil {
 		if s := strings.TrimSpace(string(out)); s != "" {
-			return s
+			return splitDirty(s)
 		}
 	}
-	return "unknown"
+	return "unknown", false
+}
+
+// splitDirty strips git describe's "-dirty" suffix, reporting it separately.
+func splitDirty(stamp string) (string, bool) {
+	if s, ok := strings.CutSuffix(stamp, "-dirty"); ok {
+		return s, true
+	}
+	return stamp, false
 }
 
 // readTrajectory loads the existing trajectory, upgrading legacy
@@ -169,6 +183,13 @@ func readTrajectory(path string) *Output {
 		return doc
 	}
 	if err := json.Unmarshal(raw, doc); err == nil && len(doc.Entries) > 0 {
+		// Entries written before the dirty flag baked "-dirty" into the
+		// commit stamp; split it out so the history keys stay clean hashes.
+		for i := range doc.Entries {
+			if s, dirty := splitDirty(doc.Entries[i].Commit); dirty {
+				doc.Entries[i].Commit, doc.Entries[i].Dirty = s, true
+			}
+		}
 		return doc
 	}
 	var legacy legacyOutput

@@ -14,10 +14,12 @@
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -requests 20000 -c 16
-//	loadgen -addr http://localhost:8080 -batch 32        # POST /suggest/batch
+//	loadgen -addr http://localhost:8080 -batch 32          # POST /suggest/batch
+//	loadgen -addr http://localhost:8080 -batch 32 -stream  # NDJSON streaming
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -47,14 +49,18 @@ func main() {
 		conc     = flag.Int("c", 16, "concurrent workers")
 		topN     = flag.Int("n", 5, "suggestions per context")
 		batch    = flag.Int("batch", 0, "contexts per POST /suggest/batch request (0 = single GETs)")
+		stream   = flag.Bool("stream", false, "request NDJSON streaming batch responses (?stream=1) and report time-to-first-result; requires -batch")
 		sessions = flag.Int("sessions", 4000, "synthetic sessions to derive contexts from")
 		seed     = flag.Int64("seed", 1, "context-replay RNG seed")
 	)
 	flag.Parse()
+	if *stream && *batch <= 0 {
+		log.Fatal("-stream needs -batch > 0 (streaming is a batch-endpoint feature)")
+	}
 
 	contexts := buildContexts(*sessions, *seed)
-	log.Printf("replaying %d contexts (%d requests, %d workers, batch=%d) against %s",
-		len(contexts), *requests, *conc, *batch, *addr)
+	log.Printf("replaying %d contexts (%d requests, %d workers, batch=%d, stream=%v) against %s",
+		len(contexts), *requests, *conc, *batch, *stream, *addr)
 
 	client := &http.Client{
 		Timeout: 10 * time.Second,
@@ -70,6 +76,7 @@ func main() {
 		wg       sync.WaitGroup
 		latMu    sync.Mutex
 		lats     []time.Duration
+		firsts   []time.Duration
 		armLats  = make(map[string][]time.Duration)
 	)
 	// Report how the server's model materialised (mmap vs heap, and how
@@ -91,13 +98,14 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(worker)))
 			local := make([]time.Duration, 0, *requests / *conc + 1)
+			var localFirsts []time.Duration
 			localArms := make(map[string][]time.Duration)
 			for issued.Add(1) <= int64(*requests) {
 				var err error
-				var took time.Duration
+				var took, first time.Duration
 				var arm string
 				if *batch > 0 {
-					took, err = doBatch(client, *addr, contexts, rng, *batch, *topN)
+					took, first, err = doBatch(client, *addr, contexts, rng, *batch, *topN, *stream)
 				} else {
 					took, arm, err = doSingle(client, *addr, contexts[rng.Intn(len(contexts))], *topN)
 				}
@@ -106,12 +114,16 @@ func main() {
 					continue
 				}
 				local = append(local, took)
+				if *stream {
+					localFirsts = append(localFirsts, first)
+				}
 				if arm != "" {
 					localArms[arm] = append(localArms[arm], took)
 				}
 			}
 			latMu.Lock()
 			lats = append(lats, local...)
+			firsts = append(firsts, localFirsts...)
 			for arm, ls := range localArms {
 				armLats[arm] = append(armLats[arm], ls...)
 			}
@@ -135,6 +147,13 @@ func main() {
 	if ok > 0 {
 		fmt.Printf("latency:     p50 %s  p90 %s  p99 %s  max %s\n",
 			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), lats[ok-1])
+	}
+	if len(firsts) > 0 {
+		// Streaming's headline win: how long until the first NDJSON result
+		// line lands, vs the full-batch latency above.
+		sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+		fmt.Printf("first-result: p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(firsts, 0.50), pct(firsts, 0.90), pct(firsts, 0.99), firsts[len(firsts)-1])
 	}
 	printArmReport(armLats, ok)
 	printClientMem(memBefore, memAfter, ok)
@@ -225,28 +244,65 @@ func doSingle(client *http.Client, addr string, context []string, n int) (time.D
 	return time.Since(start), arm, nil
 }
 
-func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Rand, size, n int) (time.Duration, error) {
+// doBatch issues one batch request. In stream mode it hits the NDJSON
+// endpoint (/v1/suggest/batch?stream=1), clocks the first result line
+// separately from the full drain, and checks every line parses and the item
+// count matches the batch — the client-side contract of incremental serving.
+// The returned first duration is zero when stream is false.
+func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Rand, size, n int, stream bool) (took, first time.Duration, err error) {
 	req := serve.BatchRequest{Requests: make([]serve.BatchItem, size)}
 	for i := range req.Requests {
 		req.Requests[i] = serve.BatchItem{Context: contexts[rng.Intn(len(contexts))], N: n}
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
+	}
+	path := addr + "/suggest/batch"
+	if stream {
+		path = addr + "/v1/suggest/batch?stream=1"
 	}
 	start := time.Now()
-	resp, err := client.Post(addr+"/suggest/batch", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return 0, err
-	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("status %d", resp.StatusCode)
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return time.Since(start), nil
+	if !stream {
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), 0, nil
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line struct {
+			Index *int `json:"index"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Index == nil {
+			return 0, 0, fmt.Errorf("bad NDJSON line %d: %v", lines, err)
+		}
+		if lines == 0 {
+			first = time.Since(start)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	if lines != size {
+		return 0, 0, fmt.Errorf("streamed %d lines, want %d", lines, size)
+	}
+	return time.Since(start), first, nil
 }
 
 func pct(sorted []time.Duration, q float64) time.Duration {

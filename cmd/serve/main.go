@@ -71,6 +71,11 @@ import (
 // loadOpts carries the flag-gated mmap paging hints into every model load.
 var loadOpts core.LoadOptions
 
+// batchWorkers carries -batch-workers into every model load (reloads
+// included): 0 fans batch descents across GOMAXPROCS goroutines, 1 keeps
+// them sequential. Answers are bit-identical either way.
+var batchWorkers int
+
 // loadModel loads through core.LoadAnyPath so every container format is
 // addressable by file path: V003/V004 MVMM files take the mmap fast path
 // (the compiled serving form is mapped, not decoded, which makes cold starts
@@ -81,6 +86,9 @@ func loadModel(path string) (core.Recommender, error) {
 	rec, err := core.LoadAnyPath(path, loadOpts)
 	if err != nil {
 		return nil, err
+	}
+	if bw, ok := rec.(interface{ SetBatchWorkers(int) }); ok {
+		bw.SetBatchWorkers(batchWorkers)
 	}
 	li := rec.LoadInfo()
 	advice := li.MapAdvice
@@ -109,9 +117,11 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		willNeed  = flag.Bool("map-willneed", false, "madvise(WILLNEED) the mmapped compiled blob: asynchronous readahead instead of first-touch page faults")
 		mlock     = flag.Bool("mlock", false, "mlock(2) the mmapped compiled blob: pin trie pages against eviction (needs RLIMIT_MEMLOCK)")
+		batchW    = flag.Int("batch-workers", 0, "goroutines per batch descent (0 = GOMAXPROCS, 1 = sequential; answers are identical)")
 	)
 	flag.Parse()
 	loadOpts = core.LoadOptions{MapWillNeed: *willNeed, MapLock: *mlock}
+	batchWorkers = *batchW
 
 	var handler http.Handler
 	var onHUP func()

@@ -45,6 +45,13 @@
 //     (≤ qstep/2 per node, ≤ ~2e-5 absolute) probability error. Models
 //     loaded from CPS4 report Quantised() == true and cannot be
 //     re-encoded to the exact forms (raw counts are not stored).
+//   - CPS5 (AppendFlat5/FromBytes/OpenMmap): the compact-edge tier below
+//     CPS4 — follower-ID lists delta-encoded and varint-packed per node,
+//     CSR offsets as varint count streams, child keys as first+deltas,
+//     plus an opt-in uint8 probability grade (refused via ErrUnquantisable
+//     when it would perturb ranked order beyond the CPS4 error bound).
+//     The packed follower-ID region is decoded per matched node at serve
+//     time into pooled scratch, so prediction stays allocation-free.
 //
 // Serving invariants, whatever the source encoding: prediction is
 // allocation-free at steady state (pooled scratch, bounded top-N heap),
@@ -124,8 +131,17 @@ type Model struct {
 	folRankIdx  []uint16
 	qstep       []float32 // per-node dequantisation step: p = qstep[v] * q
 
+	// CPS5-loaded models keep follower IDs varint-packed (folIDVar non-nil
+	// is the discriminator): folOff[v]..folOff[v+1] bounds node v's packed
+	// group, decoded into pooled scratch per matched node at serve time.
+	// folQ8 is the opt-in uint8 probability tier (nil ⇒ folQSorted's uint16
+	// tier); folIDSorted stays nil.
+	folIDVar []byte
+	folOff   []int32
+	folQ8    []uint8
+
 	nodes     int  // node count including the root (len of the per-node arrays)
-	quantised bool // true ⇔ loaded from CPS4 (narrow arrays populated)
+	quantised bool // true ⇔ loaded from CPS4/CPS5 (narrow arrays populated)
 
 	scratch scratchPool
 
@@ -489,7 +505,7 @@ func (c *Model) Depth() int { return c.depth }
 func (c *Model) Nodes() int { return c.nodes - 1 }
 
 // Followers reports the total follower entries across all nodes.
-func (c *Model) Followers() int { return len(c.folIDSorted) }
+func (c *Model) Followers() int { return int(c.folStart[len(c.folStart)-1]) }
 
 // Exact reports whether the model carries the full float64 probabilities and
 // raw counts (models built by Compile or loaded from CPS1/CPS3). Only exact

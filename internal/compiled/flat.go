@@ -206,9 +206,9 @@ func flatCorrupt(format string, args ...any) error {
 }
 
 // FromBytes materialises a Model from a flat blob produced by AppendFlat
-// (CPS3, exact) or AppendFlat4 (CPS4, quantised); the leading magic selects
-// the decoder. Corrupted or truncated blobs fail with an error wrapping
-// store.ErrCorrupt; they never panic.
+// (CPS3, exact), AppendFlat4 (CPS4, quantised) or AppendFlat5 (CPS5,
+// compact); the leading magic selects the decoder. Corrupted or truncated
+// blobs fail with an error wrapping store.ErrCorrupt; they never panic.
 func FromBytes(data []byte, mode ViewMode) (*Model, error) {
 	m, _, err := fromBytes(data, mode)
 	return m, err
@@ -219,6 +219,9 @@ func FromBytes(data []byte, mode ViewMode) (*Model, error) {
 func fromBytes(data []byte, mode ViewMode) (*Model, bool, error) {
 	if len(data) >= 4 && string(data[:4]) == quantMagic {
 		return fromBytes4(data, mode)
+	}
+	if len(data) >= 4 && string(data[:4]) == compactMagic {
+		return fromBytes5(data, mode)
 	}
 	if len(data) < flatArraysStart {
 		return nil, false, flatCorrupt("blob of %d bytes is shorter than the header", len(data))
@@ -425,8 +428,8 @@ type MapAdvice struct {
 	Lock bool
 }
 
-// OpenMmap memory-maps the flat compiled blob (CPS3 or quantised CPS4 —
-// dispatched on the blob's own magic) stored at [offset, offset+length) of
+// OpenMmap memory-maps the flat compiled blob (CPS3, quantised CPS4 or
+// compact CPS5 — dispatched on the blob's own magic) stored at [offset, offset+length) of
 // the file at path and returns a Model whose arrays alias the mapping: the
 // zero-copy cold-start path. The mapping is released when the model is
 // garbage-collected, or eagerly via Release. Returns ErrMmapUnsupported on

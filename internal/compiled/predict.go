@@ -26,6 +26,13 @@ type scratch struct {
 	scores   []float64 // candidate scores, parallel to cands
 	heap     []int32   // bounded top-N selection heap (candidate indices)
 
+	// CPS5 follower-ID decode arena: the varint-packed follower lists of
+	// the distinct matched nodes, decoded once per prediction. folDecOff is
+	// parallel to distNode (folDecOff[j]..folDecOff[j+1] bounds node j's
+	// IDs in folDec); both stay empty on non-CPS5 models.
+	folDec    []uint32
+	folDecOff []int32
+
 	// Batch state (PredictBatch only).
 	sorter ctxSorter          // descent-order permutation of the batch
 	bpreds []model.Prediction // per-context output buffer, reused across emits
@@ -37,18 +44,20 @@ func (c *Model) initScratch() {
 	k, depth := c.k, c.depth
 	c.scratch.p.New = func() any {
 		return &scratch{
-			path:     make([]int32, 0, depth),
-			matched:  make([]int32, k),
-			w:        make([]float64, k),
-			chain:    make([]float64, k),
-			valIdx:   make([]int32, k),
-			distLen:  make([]int32, 0, k),
-			distNode: make([]int32, 0, k),
-			vals:     make([]float64, k),
-			cands:    make([]uint32, 0, 256),
-			scores:   make([]float64, 0, 256),
-			heap:     make([]int32, 0, 64),
-			bpreds:   make([]model.Prediction, 0, 16),
+			path:      make([]int32, 0, depth),
+			matched:   make([]int32, k),
+			w:         make([]float64, k),
+			chain:     make([]float64, k),
+			valIdx:    make([]int32, k),
+			distLen:   make([]int32, 0, k),
+			distNode:  make([]int32, 0, k),
+			vals:      make([]float64, k),
+			cands:     make([]uint32, 0, 256),
+			scores:    make([]float64, 0, 256),
+			heap:      make([]int32, 0, 64),
+			folDec:    make([]uint32, 0, 256),
+			folDecOff: make([]int32, 0, k+1),
+			bpreds:    make([]model.Prediction, 0, 16),
 		}
 	}
 }
@@ -192,6 +201,17 @@ func (c *Model) prepareMatched(s *scratch, ctxLen int) bool {
 		}
 		s.valIdx[i] = idx
 	}
+	if c.folIDVar != nil {
+		// CPS5: decode each distinct matched node's varint-packed follower
+		// IDs once into the scratch arena; candidate pooling and every
+		// score lookup for this prediction then read the decoded forms.
+		s.folDec = s.folDec[:0]
+		s.folDecOff = append(s.folDecOff[:0], 0)
+		for _, v := range s.distNode {
+			s.folDec = c.appendFollowerIDs(s.folDec, v)
+			s.folDecOff = append(s.folDecOff, int32(len(s.folDec)))
+		}
+	}
 	return true
 }
 
@@ -219,12 +239,43 @@ func (c *Model) smoothedAt(v int32, q uint32) float64 {
 	return c.floorAt(v)
 }
 
+// smoothedDec is smoothedAt for CPS5 models: the binary search runs over
+// the decoded follower IDs of distinct-node j in the scratch arena, and the
+// fixed-point probability is read at the matching sorted offset (uint8 or
+// uint16 tier) and dequantised through the node's step.
+func (c *Model) smoothedDec(s *scratch, j int, v int32, q uint32) float64 {
+	ids := s.folDec[s.folDecOff[j]:s.folDecOff[j+1]]
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == q {
+		i := c.folStart[v] + int32(lo)
+		if c.folQ8 != nil {
+			return float64(c.qstep[v]) * float64(c.folQ8[i])
+		}
+		return float64(c.qstep[v]) * float64(c.folQSorted[i])
+	}
+	return c.floorAt(v)
+}
+
 // score computes the mixture score Σ_D w_D · P̂_D(q|ctx) for one candidate,
 // accumulating per component in index order (the interpreted summation
 // order) while sharing each distinct matched node's probability lookup.
 func (c *Model) score(s *scratch, q uint32) float64 {
-	for j, v := range s.distNode {
-		s.vals[j] = c.smoothedAt(v, q)
+	if c.folIDVar != nil {
+		for j, v := range s.distNode {
+			s.vals[j] = c.smoothedDec(s, j, v, q)
+		}
+	} else {
+		for j, v := range s.distNode {
+			s.vals[j] = c.smoothedAt(v, q)
+		}
 	}
 	var sum float64
 	for i := 0; i < c.k; i++ {
@@ -295,13 +346,26 @@ func (c *Model) appendRanked(s *scratch, dst []model.Prediction, ctxLen, topN in
 	// without a CRC check may misrank but must not index out of bounds).
 	s.cands = s.cands[:0]
 	lim := int32(4 * topN)
-	for _, v := range s.distNode {
+	for dj, v := range s.distNode {
 		lo, hi := c.folStart[v], c.folStart[v+1]
 		if hi-lo > lim {
 			hi = lo + lim
 		}
 		if c.folIDRanked != nil {
 			s.cands = append(s.cands, c.folIDRanked[lo:hi]...)
+			continue
+		}
+		if c.folIDVar != nil {
+			// CPS5: rank indices are local offsets into the node's decoded
+			// ID list in the scratch arena (clamped like the CPS4 path).
+			ids := s.folDec[s.folDecOff[dj]:s.folDecOff[dj+1]]
+			for j := lo; j < hi; j++ {
+				idx := int(c.folRankIdx[j])
+				if idx >= len(ids) {
+					idx = 0
+				}
+				s.cands = append(s.cands, ids[idx])
+			}
 			continue
 		}
 		for j := lo; j < hi; j++ {

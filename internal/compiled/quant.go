@@ -164,6 +164,12 @@ func (c *Model) Flat4Size() int64 {
 // when the model's statistics do not fit the narrow layout (callers then
 // keep CPS3).
 func (c *Model) AppendFlat4(dst []byte) ([]byte, error) {
+	if c.folIDVar != nil {
+		// CPS5-loaded models carry varint-packed follower IDs (and possibly
+		// the uint8 probability tier) instead of the fixed-width arrays the
+		// CPS4 writer reads; re-encode with AppendFlat5.
+		return dst, fmt.Errorf("%w: CPS5-loaded model (re-encode with AppendFlat5)", ErrUnquantisable)
+	}
 	counts, sizes := c.quantCounts()
 	offs, total := quantLayout(counts, sizes)
 	evW, occW := sizes[qaEvidence], sizes[qaOcc]

@@ -14,14 +14,14 @@
 // (HMM, cluster, pairwise fleet arms) implement the same seam, so cache,
 // fleet and serve hold a Recommender and never know which family answers.
 //
-// Persistence: Save writes the current QRECV004 container (dictionary,
-// interpreted mixture, and the quantised CPS4 compiled blob at a
-// page-aligned offset); SaveAs keeps the exact QRECV002/QRECV003 writers.
-// Load reads every version back to QRECV001. LoadPath is the production
-// cold-start route: for V003/V004 files it memory-maps the compiled blob
-// (no decoding, lazy page-in, cross-process page sharing) and defers the
-// interpreted-mixture decode until first Model() use; LoadInfo reports the
-// route taken, the blob encoding served and its byte length.
+// Persistence: Save writes the current QRECV005 container (dictionary,
+// interpreted mixture, and the compact quantised CPS5 compiled blob at a
+// page-aligned offset); SaveAs keeps the QRECV002/QRECV003/QRECV004
+// writers. Load reads every version back to QRECV001. LoadPath is the
+// production cold-start route: for V003/V004/V005 files it memory-maps the
+// compiled blob (no decoding, lazy page-in, cross-process page sharing) and
+// defers the interpreted-mixture decode until first Model() use; LoadInfo
+// reports the route taken, the blob encoding served and its byte length.
 //
 // Invariants: an Engine is immutable after training or loading — the
 // Recommender methods are safe for unbounded concurrent callers without
@@ -41,6 +41,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compiled"
@@ -101,11 +102,27 @@ type Engine struct {
 	cfg   Config
 	info  LoadInfo
 
+	// batchWorkers caps the parallel batch descent's fan-out (see
+	// SetBatchWorkers); 0 means GOMAXPROCS.
+	batchWorkers atomic.Int32
+
 	// V003 mmap loads defer decoding the interpreted mixture (serving only
 	// needs the compiled form): Model() triggers mixLoad exactly once.
 	mixOnce sync.Once
 	mixLoad func() (*markov.MVMM, error)
 	mixErr  error
+}
+
+// SetBatchWorkers caps the worker fan-out of the parallel batch descent
+// behind RecommendBatchIDs: n <= 0 restores the default (GOMAXPROCS), 1
+// forces the sequential path, anything else bounds the goroutines one batch
+// may spawn. Safe to call concurrently with serving — the knob is read per
+// batch. Results are bit-identical at any setting; only latency changes.
+func (r *Engine) SetBatchWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.batchWorkers.Store(int32(n))
 }
 
 // Model-provenance modes reported by LoadInfo.
@@ -121,7 +138,7 @@ const (
 type LoadInfo struct {
 	Mode      string        // LoadModeTrained, LoadModeHeap or LoadModeMmap
 	Version   string        // save-format magic of the source file, "" if trained
-	Format    string        // compiled-blob encoding served ("CPS1", "CPS3", "CPS4"); "" if compiled in-process
+	Format    string        // compiled-blob encoding served ("CPS1", "CPS3", "CPS4", "CPS5"); "" if compiled in-process
 	BlobBytes int64         // byte length of the compiled blob decoded or mapped; 0 if compiled in-process
 	MapAdvice string        // kernel paging hints applied to the mapping ("willneed", "mlock", …); "" when none
 	Duration  time.Duration // wall time of the Load/LoadPath call
@@ -195,12 +212,14 @@ func (r *Engine) AppendSuggestions(dst []Suggestion, ctx query.Seq, n int) []Sug
 	return dst
 }
 
-// RecommendBatchIDs scores many interned contexts through one shared-scratch
-// batched trie descent (compiled.PredictBatch): contexts are grouped by
-// shared suffix so sibling lookups amortise cache-line loads, which is what
-// makes POST /suggest/batch cheaper than n single requests. Results align
-// 1:1 with ctxs; uncovered or empty contexts yield nil entries. Each non-nil
-// result slice is freshly allocated (callers cache them).
+// RecommendBatchIDs scores many interned contexts through the shared-scratch
+// batched trie descent (compiled.PredictBatchParallel): contexts are grouped
+// by shared suffix so sibling lookups amortise cache-line loads, and large
+// batches are split across up to SetBatchWorkers goroutines (default
+// GOMAXPROCS; answers are bit-identical to the sequential walk), which is
+// what makes POST /suggest/batch cheaper than n single requests. Results
+// align 1:1 with ctxs; uncovered or empty contexts yield nil entries. Each
+// non-nil result slice is freshly allocated (callers cache them).
 func (r *Engine) RecommendBatchIDs(ctxs []query.Seq, ns []int) [][]Suggestion {
 	out := make([][]Suggestion, len(ctxs))
 	if r.comp == nil { // interpreted fallback: no batched descent available
@@ -209,7 +228,7 @@ func (r *Engine) RecommendBatchIDs(ctxs []query.Seq, ns []int) [][]Suggestion {
 		}
 		return out
 	}
-	r.comp.PredictBatch(ctxs, ns, func(i int, preds []model.Prediction) {
+	r.comp.PredictBatchParallel(ctxs, ns, int(r.batchWorkers.Load()), func(i int, preds []model.Prediction) {
 		if len(preds) == 0 {
 			return
 		}
@@ -299,14 +318,19 @@ func (r *Engine) Stats() session.Stats { return r.stats }
 // compiled form in the quantised CPS4 layout — fixed-point uint16 follower
 // probabilities against per-node float32 steps and width-narrowed node
 // arrays — which shrinks the served blob by roughly half at a bounded
-// (≤ ~2e-5 absolute) probability error. Load and LoadPath read all four;
-// Save writes V004. SaveAs keeps the exact V002/V003 writers for
-// deployments that need bit-exact serving or pre-V004 readers.
+// (≤ ~2e-5 absolute) probability error. V005 keeps the same framing with
+// the compact CPS5 layout — delta/varint-packed follower IDs and CSR
+// offsets on top of CPS4's quantisation, at the same error bound. Load and
+// LoadPath read all five; Save writes V005 (falling back blob-by-blob to
+// CPS4, then exact CPS3, when a model's statistics refuse a tier). SaveAs
+// keeps the V002/V003/V004 writers for deployments that need bit-exact
+// serving or pre-V005 readers.
 const (
 	saveMagicV1 = "QRECV001"
 	saveMagicV2 = "QRECV002"
 	saveMagicV3 = "QRECV003"
 	saveMagicV4 = "QRECV004"
+	saveMagicV5 = "QRECV005"
 )
 
 // compiledAlign is the file alignment of the V003/V004 compiled blob. 4 KiB
@@ -334,11 +358,12 @@ func writeSection(w io.Writer, name string, wt io.WriterTo) error {
 }
 
 // Save persists the recommender — dictionary, interpreted mixture (the build
-// artifact) and compiled serving form — in the current V004 layout (the
-// quantised CPS4 compiled blob). A recommender without a compiled model
-// writes an empty compiled section; Load recompiles.
+// artifact) and compiled serving form — in the current V005 layout (the
+// compact CPS5 compiled blob, falling back to CPS4/CPS3 when the model's
+// statistics refuse a tier). A recommender without a compiled model writes
+// an empty compiled section; Load recompiles.
 func (r *Engine) Save(w io.Writer) error {
-	return r.SaveAs(w, saveMagicV4)
+	return r.SaveAs(w, saveMagicV5)
 }
 
 // exactComp returns a compiled model carrying exact float64 probabilities,
@@ -356,9 +381,10 @@ func (r *Engine) exactComp(mix *markov.MVMM) *compiled.Model {
 }
 
 // SaveAs persists the recommender in a specific save-format version:
-// "QRECV004" (the Save default, quantised mmap-able compiled section),
-// "QRECV003" (exact mmap-able compiled section) or "QRECV002" (varint
-// compiled section, for files older deployments must read). It exists for
+// "QRECV005" (the Save default, compact quantised mmap-able compiled
+// section), "QRECV004" (quantised mmap-able compiled section), "QRECV003"
+// (exact mmap-able compiled section) or "QRECV002" (varint compiled
+// section, for files older deployments must read). It exists for
 // compatibility tooling and for deployments that need the exact formats'
 // bit-identical serving.
 func (r *Engine) SaveAs(w io.Writer, version string) error {
@@ -382,7 +408,7 @@ func (r *Engine) SaveAs(w io.Writer, version string) error {
 			comp = c
 		}
 		return writeSection(w, "compiled model", comp)
-	case saveMagicV3, saveMagicV4:
+	case saveMagicV3, saveMagicV4, saveMagicV5:
 		return r.saveFlat(w, mix, version)
 	default:
 		return fmt.Errorf("core: unknown save version %q", version)
@@ -402,15 +428,16 @@ func (cw *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// saveFlat writes the shared V003/V004 layout: magic, dictionary and
+// saveFlat writes the shared V003/V004/V005 layout: magic, dictionary and
 // mixture sections as in V002, then the compiled model as a flat blob —
-// exact CPS3 under the V003 magic, quantised CPS4 under V004 — padded to
-// start on a compiledAlign boundary, the precondition for LoadPath's
-// zero-copy mmap. The blob is framed as (uint64 pad length, pad, uint64
-// blob length, blob). A V004 save of a model whose statistics do not fit
-// the quantised layout (see compiled.ErrUnquantisable) falls back to an
-// exact CPS3 blob in the same container; LoadPath dispatches on the blob's
-// own magic, so nothing downstream cares.
+// exact CPS3 under the V003 magic, quantised CPS4 under V004, compact CPS5
+// under V005 — padded to start on a compiledAlign boundary, the
+// precondition for LoadPath's zero-copy mmap. The blob is framed as (uint64
+// pad length, pad, uint64 blob length, blob). A save of a model whose
+// statistics do not fit the requested tier (see compiled.ErrUnquantisable)
+// falls back one tier at a time — V005 → CPS4 → exact CPS3 — in the same
+// container; LoadPath dispatches on the blob's own magic, so nothing
+// downstream cares.
 func (r *Engine) saveFlat(w io.Writer, mix *markov.MVMM, version string) error {
 	cw := &countWriter{w: w}
 	if _, err := io.WriteString(cw, version); err != nil {
@@ -423,7 +450,16 @@ func (r *Engine) saveFlat(w io.Writer, mix *markov.MVMM, version string) error {
 		return err
 	}
 	var blob []byte
-	if version == saveMagicV4 && r.comp != nil {
+	if version == saveMagicV5 && r.comp != nil {
+		b5, err := r.comp.AppendFlat5(nil, false)
+		if err != nil && !errors.Is(err, compiled.ErrUnquantisable) {
+			return fmt.Errorf("core: compacting compiled model: %w", err)
+		}
+		if err == nil {
+			blob = b5
+		}
+	}
+	if len(blob) == 0 && (version == saveMagicV4 || version == saveMagicV5) && r.comp != nil {
 		b4, err := r.comp.AppendFlat4(nil)
 		if err != nil && !errors.Is(err, compiled.ErrUnquantisable) {
 			return fmt.Errorf("core: quantising compiled model: %w", err)
@@ -457,10 +493,11 @@ func (r *Engine) saveFlat(w io.Writer, mix *markov.MVMM, version string) error {
 }
 
 // Load restores a recommender written by Save from a stream: the current
-// V004 layout (quantised compiled section decoded into the heap — use
-// LoadPath for the zero-copy mmap), the V003 layout, the V002 layout, or
-// the legacy V001 layout (which lacks the compiled section — the serving
-// form is then compiled from the mixture on the spot).
+// V005 layout (compact quantised compiled section decoded into the heap —
+// use LoadPath for the zero-copy mmap), the V004 layout, the V003 layout,
+// the V002 layout, or the legacy V001 layout (which lacks the compiled
+// section — the serving form is then compiled from the mixture on the
+// spot).
 func Load(rd io.Reader) (*Engine, error) {
 	start := time.Now()
 	r, info, err := load(rd)
@@ -482,7 +519,7 @@ func load(rd io.Reader) (*Engine, LoadInfo, error) {
 	version := string(magic)
 	info.Version = version
 	switch version {
-	case saveMagicV1, saveMagicV2, saveMagicV3, saveMagicV4:
+	case saveMagicV1, saveMagicV2, saveMagicV3, saveMagicV4, saveMagicV5:
 	default:
 		return nil, info, fmt.Errorf("core: unrecognised model file header %q", magic)
 	}
@@ -530,7 +567,7 @@ func load(rd io.Reader) (*Engine, LoadInfo, error) {
 			info.BlobBytes = int64(n)
 			return r, info, nil
 		}
-	case saveMagicV3, saveMagicV4:
+	case saveMagicV3, saveMagicV4, saveMagicV5:
 		var hdr [8]byte
 		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 			return nil, info, fmt.Errorf("core: reading compiled padding header: %w", err)
@@ -577,16 +614,16 @@ func blobFormat(blob []byte) string {
 }
 
 // LoadPath restores a recommender from a model file on disk, taking the
-// fastest load path the file allows. For V003/V004 files the compiled
+// fastest load path the file allows. For V003/V004/V005 files the compiled
 // serving form is memory-mapped in place — a cold start costs the
 // dictionary decode plus O(1) mapping work, the kernel faults trie pages in
 // lazily, and concurrent server processes share one page-cache copy — and
 // the interpreted mixture is decoded lazily on first Model() use, so a
 // process that only serves never pays for it. V001/V002 files (and
-// V003/V004 files without a compiled section, or platforms without mmap)
-// fall back to the reader-based heap Load. LoadInfo reports which path was
-// taken, the blob encoding served (CPS3 or quantised CPS4) and its byte
-// length.
+// V003/V004/V005 files without a compiled section, or platforms without
+// mmap) fall back to the reader-based heap Load. LoadInfo reports which
+// path was taken, the blob encoding served (CPS3, quantised CPS4 or
+// compact CPS5) and its byte length.
 func LoadPath(path string) (*Engine, error) {
 	return LoadPathWith(path, LoadOptions{})
 }
@@ -628,7 +665,7 @@ func LoadPathWith(path string, opts LoadOptions) (*Engine, error) {
 		return nil, fmt.Errorf("core: reading header: %w", err)
 	}
 	version := string(magic)
-	if version != saveMagicV3 && version != saveMagicV4 {
+	if version != saveMagicV3 && version != saveMagicV4 && version != saveMagicV5 {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}

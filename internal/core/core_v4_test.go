@@ -41,16 +41,16 @@ func assertCloseRecommendations(t *testing.T, label string, exact, quant *Engine
 	}
 }
 
-// TestSaveWritesV4AndLoadRestores: the default save format is V004 (the
-// quantised CPS4 compiled section) and the reader-based Load restores it
-// within the bounded-error contract.
+// TestSaveWritesV4AndLoadRestores: a V004 save (the quantised CPS4
+// compiled section, now written via SaveAs) restores through the
+// reader-based Load within the bounded-error contract.
 func TestSaveWritesV4AndLoadRestores(t *testing.T) {
 	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := rec.Save(&buf); err != nil {
+	if err := rec.SaveAs(&buf, saveMagicV4); err != nil {
 		t.Fatal(err)
 	}
 	if got := buf.String()[:len(saveMagicV4)]; got != saveMagicV4 {
@@ -84,7 +84,7 @@ func TestLoadPathMmapV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rec.Save(f); err != nil {
+	if err := rec.SaveAs(f, saveMagicV4); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -142,7 +142,7 @@ func TestQuantisedSaveAsRecompilesExactForms(t *testing.T) {
 		t.Fatal(err)
 	}
 	var v4 bytes.Buffer
-	if err := rec.Save(&v4); err != nil {
+	if err := rec.SaveAs(&v4, saveMagicV4); err != nil {
 		t.Fatal(err)
 	}
 	quantRec, err := Load(bytes.NewReader(v4.Bytes()))
@@ -169,7 +169,7 @@ func TestQuantisedSaveAsRecompilesExactForms(t *testing.T) {
 	// And a V004 re-save of the quantised model is byte-stable from the
 	// compiled section onward (the fixed-point values re-emit verbatim).
 	var again bytes.Buffer
-	if err := quantRec.Save(&again); err != nil {
+	if err := quantRec.SaveAs(&again, saveMagicV4); err != nil {
 		t.Fatal(err)
 	}
 	reload, err := Load(bytes.NewReader(again.Bytes()))

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiled"
+)
+
+// TestSaveWritesV5AndLoadRestores: the default save format is V005 (the
+// compact CPS5 compiled section) and the reader-based Load restores it
+// within the same bounded-error contract as CPS4 — the uint16 tier reuses
+// CPS4's quantisation grid exactly.
+func TestSaveWritesV5AndLoadRestores(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String()[:len(saveMagicV5)]; got != saveMagicV5 {
+		t.Fatalf("header = %q, want %q", got, saveMagicV5)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := loaded.CompiledModel()
+	if cm == nil || !cm.Quantised() {
+		t.Fatalf("V005 load did not restore a quantised compiled model (%v)", cm)
+	}
+	if li := loaded.LoadInfo(); li.Mode != LoadModeHeap || li.Version != saveMagicV5 ||
+		li.Format != "CPS5" || li.BlobBytes <= 0 {
+		t.Fatalf("LoadInfo = %+v", li)
+	}
+	assertCloseRecommendations(t, "stream", rec, loaded)
+}
+
+// TestLoadPathMmapV5: LoadPath on a V005 file must take the mmap route,
+// report the CPS5 blob it mapped, serve within the quantisation bound, and
+// still expose the mixture lazily so exact formats can be re-saved.
+func TestLoadPathMmapV5(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	li := loaded.LoadInfo()
+	wantMode := LoadModeMmap
+	if _, merr := compiled.OpenMmap(path, 0, 1); merr == compiled.ErrMmapUnsupported {
+		wantMode = LoadModeHeap
+	}
+	if li.Mode != wantMode || li.Version != saveMagicV5 || li.Format != "CPS5" ||
+		li.BlobBytes <= 0 || li.Duration <= 0 {
+		t.Fatalf("LoadInfo = %+v, want mode %q format CPS5", li, wantMode)
+	}
+	cm := loaded.CompiledModel()
+	if cm == nil || !cm.Quantised() {
+		t.Fatal("V005 LoadPath did not produce a quantised compiled model")
+	}
+	assertCloseRecommendations(t, "mmap", rec, loaded)
+}
+
+// TestV5BlobSmallerThanV4: the CPS5 blob must undercut CPS4 even on this
+// toy model. The cps5-over-cps4 <= 0.8 claim on the benchmark serving model
+// is gated in BENCH_serving.json (BenchmarkCompiledBlobSizeV5).
+func TestV5BlobSmallerThanV4(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := rec.CompiledModel()
+	if cm == nil {
+		t.Fatal("no compiled model")
+	}
+	cps4, cps5 := cm.Flat4Size(), cm.Flat5Size(false)
+	if cps5 >= cps4 {
+		t.Fatalf("CPS5 blob %d bytes >= CPS4 blob %d bytes", cps5, cps4)
+	}
+}
+
+// TestCompactSaveAsRecompilesExactForms: a recommender serving from a
+// compact CPS5 load (whose raw counts are gone) must still write exact
+// V002/V003 files by recompiling from the lazily decoded mixture, and a
+// V005 re-save must be stable under reload.
+func TestCompactSaveAsRecompilesExactForms(t *testing.T) {
+	rec, err := TrainFromLog(strings.NewReader(buildLog(t)), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v5 bytes.Buffer
+	if err := rec.Save(&v5); err != nil {
+		t.Fatal(err)
+	}
+	compactRec, err := Load(bytes.NewReader(v5.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm := compactRec.CompiledModel(); cm == nil || !cm.Quantised() {
+		t.Fatal("V005 load is not quantised")
+	}
+	for _, version := range []string{saveMagicV2, saveMagicV3} {
+		var buf bytes.Buffer
+		if err := compactRec.SaveAs(&buf, version); err != nil {
+			t.Fatalf("SaveAs(%s) from compact model: %v", version, err)
+		}
+		exact, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("loading %s written from compact model: %v", version, err)
+		}
+		if cm := exact.CompiledModel(); cm == nil || !cm.Exact() {
+			t.Fatalf("%s round trip did not restore an exact compiled model", version)
+		}
+		assertSameRecommendations(t, version+"-from-compact", rec, exact)
+	}
+	// A V005 re-save of the compact model re-emits the stored fixed-point
+	// values and packed IDs verbatim: the compiled sections must be
+	// byte-identical across the round trip.
+	var again bytes.Buffer
+	if err := compactRec.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	reload, err := Load(bytes.NewReader(again.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCloseRecommendations(t, "v5-resave", rec, reload)
+}

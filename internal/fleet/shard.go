@@ -285,7 +285,7 @@ func (s *ShardRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/suggest":
 		s.suggest(w, r)
-	case "/suggest/batch":
+	case "/suggest/batch", "/v1/suggest/batch":
 		s.batch(w, r)
 	case "/healthz":
 		s.health(w)
@@ -443,6 +443,16 @@ func (s *ShardRouter) putScratch(b *batchScratch) {
 // buffers. The whole fan-out recycles its working state, which is what holds
 // BenchmarkShardFanout64's alloc gate; per-item took_us values come from the
 // shards and the top-level took_us stays 0 (clients sum per-result values).
+//
+// With ?stream=1 (or Accept: application/x-ndjson) the merge is skipped:
+// each shard's sub-batch is written the moment it completes, one NDJSON
+// line per item — {"index":N,"result":{...}} with the item bytes exactly as
+// the buffered merge would have carried them — and the connection is
+// flushed per sub-batch, so a client sees its first results at the latency
+// of the fastest shard, not the slowest. Lines arrive in an arbitrary
+// order; index is the item's position in the request. A shard failure after
+// the 200 has been committed becomes {"index":N,"error":{...}} lines for
+// that shard's items instead of a bad-gateway response.
 func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErrorJSON(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
@@ -488,8 +498,18 @@ func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 		sc.counts[shard]++
 	}
 
+	stream := wantsNDJSONStream(r)
+	var streamMu sync.Mutex
+	var flusher http.Flusher
+	if stream {
+		flusher, _ = w.(http.Flusher)
+		w.Header()["Content-Type"] = ndjsonHeaderValue
+		w.WriteHeader(http.StatusOK)
+	}
+
 	// Fan the sub-batches out concurrently; each call owns pooled buffers
-	// that stay alive until the merge below.
+	// that stay alive until the merge below (or, when streaming, until its
+	// lines have been written).
 	for len(sc.results) < len(sc.spans) {
 		sc.results = append(sc.results, nil)
 	}
@@ -524,9 +544,24 @@ func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 		go func(call *shardCall) {
 			defer sc.wg.Done()
 			call.err = s.exchangeSubBatch(call)
+			if stream {
+				// Write this sub-batch's lines as soon as it lands; the mutex
+				// serialises writers, the flush pushes the lines to the client
+				// while slower shards are still descending.
+				streamMu.Lock()
+				s.writeCallLines(w, sc, call)
+				if flusher != nil {
+					flusher.Flush()
+				}
+				streamMu.Unlock()
+			}
 		}(call)
 	}
 	sc.wg.Wait()
+	if stream {
+		s.batches.Add(1)
+		return
+	}
 
 	// Scatter each shard's results back to the items' original positions.
 	for _, call := range sc.calls {
@@ -592,9 +627,67 @@ func (s *ShardRouter) exchangeSubBatch(call *shardCall) error {
 	return call.parseResults()
 }
 
+// writeCallLines writes one completed sub-batch as NDJSON lines, one per
+// item the call carried, each tagged with the item's index in the original
+// request. Result bytes are the shard's item spans verbatim — the same
+// bytes the buffered merge scatters — so streamed and buffered responses
+// agree item for item. Callers hold the stream mutex, so reusing sc.out as
+// the line builder is race-free.
+func (s *ShardRouter) writeCallLines(w io.Writer, sc *batchScratch, call *shardCall) {
+	sc.out = sc.out[:0]
+	j := 0
+	for i, shard := range sc.shardOf {
+		if shard != call.shard {
+			continue
+		}
+		sc.out = append(sc.out, `{"index":`...)
+		sc.out = strconv.AppendInt(sc.out, int64(i), 10)
+		if call.err != nil {
+			// The 200 is already on the wire: per-item error lines are the
+			// only way left to report the failed shard.
+			sc.out = append(sc.out, `,"error":{"code":"bad_gateway","message":`...)
+			sc.out = strconv.AppendQuote(sc.out, fmt.Sprintf("shard %d: %v", call.shard, call.err))
+			sc.out = append(sc.out, `}}`...)
+		} else {
+			sp := call.spans[j]
+			j++
+			sc.out = append(sc.out, `,"result":`...)
+			sc.out = append(sc.out, call.resp[sp[0]:sp[1]]...)
+			sc.out = append(sc.out, '}')
+		}
+		sc.out = append(sc.out, '\n')
+	}
+	w.Write(sc.out)
+}
+
+// wantsNDJSONStream reports whether a batch request opted into the
+// streaming NDJSON response: ?stream=1 in the query string or an Accept
+// header naming application/x-ndjson. The query string is scanned in place
+// (url.Query would allocate on the hot path for every buffered request
+// too).
+func wantsNDJSONStream(r *http.Request) bool {
+	raw := r.URL.RawQuery
+	for len(raw) > 0 {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		if seg == "stream=1" {
+			return true
+		}
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
 // jsonHeaderValue is the shared Content-Type slice for allocation-free
 // header assignment.
 var jsonHeaderValue = []string{"application/json"}
+
+// ndjsonHeaderValue is its application/x-ndjson counterpart for streamed
+// batch responses.
+var ndjsonHeaderValue = []string{"application/x-ndjson"}
 
 // redirectV1 301s a legacy unversioned admin path to its /v1/ home.
 func redirectV1(w http.ResponseWriter, r *http.Request) {

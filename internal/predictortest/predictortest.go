@@ -48,6 +48,7 @@ func Run(t *testing.T, p compiled.Predictor, ctxs []query.Seq) {
 	t.Run("determinism", func(t *testing.T) { checkDeterminism(t, p, ctxs) })
 	t.Run("append-semantics", func(t *testing.T) { checkAppend(t, p, ctxs) })
 	t.Run("prob", func(t *testing.T) { checkProb(t, p, ctxs) })
+	t.Run("batch", func(t *testing.T) { checkBatch(t, p, ctxs) })
 	if shape.ZeroAlloc {
 		t.Run("zero-alloc", func(t *testing.T) { checkZeroAlloc(t, p, ctxs) })
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -347,25 +348,79 @@ func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
 	for range bb.items {
 		h.m.lat.record(perCtx)
 	}
+	h.m.batches.Add(1)
+	h.m.batchContexts.Add(uint64(len(bb.items)))
+	if wantsNDJSONStream(r) {
+		// NDJSON mode: one {"index":N,"result":{...}} line per item, the
+		// item object byte-identical to its buffered counterpart. A single
+		// handler scores the whole batch in one descent pass, so the lines
+		// land together; the incremental flushing happens a layer up, where
+		// the shard router emits each sub-batch as it completes.
+		bb.resp = bb.resp[:0]
+		for i := range bb.out {
+			bb.resp = append(bb.resp, `{"index":`...)
+			bb.resp = strconv.AppendInt(bb.resp, int64(i), 10)
+			bb.resp = append(bb.resp, `,"result":`...)
+			bb.resp = bb.appendBatchItem(bb.resp, i, perCtx)
+			bb.resp = append(bb.resp, "}\n"...)
+		}
+		w.Header()["Content-Type"] = ndjsonHeaderValue
+		w.Write(bb.resp)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		return
+	}
 	bb.resp = append(bb.resp[:0], `{"results":[`...)
 	for i := range bb.out {
 		if i > 0 {
 			bb.resp = append(bb.resp, ',')
 		}
-		bb.resp = append(bb.resp, `{"context":`...)
-		sp := bb.items[i].ctxSpan
-		bb.resp = append(bb.resp, bb.body[sp[0]:sp[1]]...)
-		bb.resp = append(bb.resp, ',')
-		bb.resp = appendSuggestions(bb.resp, bb.out[i])
-		bb.resp = append(bb.resp, `,"took_us":`...)
-		bb.resp = strconv.AppendInt(bb.resp, perCtx, 10)
-		bb.resp = append(bb.resp, '}')
+		bb.resp = bb.appendBatchItem(bb.resp, i, perCtx)
 	}
 	bb.resp = append(bb.resp, `],"took_us":`...)
 	bb.resp = strconv.AppendInt(bb.resp, elapsed, 10)
 	bb.resp = append(bb.resp, '}')
-	h.m.batches.Add(1)
-	h.m.batchContexts.Add(uint64(len(bb.items)))
 	setJSONContentType(w)
 	w.Write(bb.resp)
 }
+
+// appendBatchItem encodes one batch result object — the context echoed
+// verbatim from the request body, the pooled suggestion encoding and the
+// per-context latency — shared by the buffered array and the NDJSON lines
+// so the two response modes carry identical item bytes.
+func (bb *batchScratch) appendBatchItem(dst []byte, i int, perCtx int64) []byte {
+	dst = append(dst, `{"context":`...)
+	sp := bb.items[i].ctxSpan
+	dst = append(dst, bb.body[sp[0]:sp[1]]...)
+	dst = append(dst, ',')
+	dst = appendSuggestions(dst, bb.out[i])
+	dst = append(dst, `,"took_us":`...)
+	dst = strconv.AppendInt(dst, perCtx, 10)
+	dst = append(dst, '}')
+	return dst
+}
+
+// wantsNDJSONStream reports whether the batch request opted into the
+// streaming NDJSON response shape: ?stream=1 in the query string or an
+// Accept header naming application/x-ndjson. The query string is scanned
+// in place to keep the buffered hot path free of url.Query allocations.
+func wantsNDJSONStream(r *http.Request) bool {
+	raw := r.URL.RawQuery
+	for len(raw) > 0 {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		if seg == "stream=1" {
+			return true
+		}
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// ndjsonHeaderValue is the shared Content-Type slice for NDJSON batch
+// responses.
+var ndjsonHeaderValue = []string{"application/x-ndjson"}

@@ -229,7 +229,7 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/suggest":
 		h.suggest(w, r)
-	case "/suggest/batch":
+	case "/suggest/batch", "/v1/suggest/batch":
 		h.suggestBatch(w, r)
 	case "/healthz", "/v1/healthz":
 		// Both paths serve directly: liveness probes do not follow 301s,

@@ -470,10 +470,10 @@ func TestHealthReportsBlobProvenance(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&hp); err != nil {
 		t.Fatal(err)
 	}
-	if !hp.Compiled || !hp.Quantised || hp.BlobFormat != "CPS4" || hp.BlobBytes <= 0 {
+	if !hp.Compiled || !hp.Quantised || hp.BlobFormat != "CPS5" || hp.BlobBytes <= 0 {
 		t.Fatalf("healthz blob provenance = %+v", hp)
 	}
-	if hp.LoadMode == "" || hp.LoadVersion != "QRECV004" {
+	if hp.LoadMode == "" || hp.LoadVersion != "QRECV005" {
 		t.Fatalf("healthz load provenance = %+v", hp)
 	}
 
@@ -486,7 +486,7 @@ func TestHealthReportsBlobProvenance(t *testing.T) {
 	if err := json.NewDecoder(mresp.Body).Decode(&mp); err != nil {
 		t.Fatal(err)
 	}
-	if !mp.Quantised || mp.BlobFormat != "CPS4" || mp.BlobBytes != hp.BlobBytes {
+	if !mp.Quantised || mp.BlobFormat != "CPS5" || mp.BlobBytes != hp.BlobBytes {
 		t.Fatalf("metrics blob provenance = %+v", mp)
 	}
 }
