@@ -4,7 +4,7 @@
 GO ?= go
 
 # Serving-path benchmarks tracked across PRs in BENCH_serving.json.
-SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkPredictCPS5|BenchmarkPredictHMM|BenchmarkRerankPairwise|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkPredictBatch64|BenchmarkPredictBatch64Parallel|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkColdStartMmapV5|BenchmarkCompiledBlobSize|BenchmarkCompiledBlobSizeV5
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkPredictCPS5|BenchmarkPredictHMM|BenchmarkRerankPairwise|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkShardFanout64R2|BenchmarkPredictBatch64|BenchmarkPredictBatch64Parallel|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkColdStartMmapV5|BenchmarkCompiledBlobSize|BenchmarkCompiledBlobSizeV5
 # Override for quick smoke runs: make bench-json BENCHTIME=10x
 BENCHTIME ?= 1s
 # Regression gates applied by cmd/benchjson after recording: the cached HTTP
@@ -15,10 +15,12 @@ BENCHTIME ?= 1s
 # CPS4 on the benchmark model, and the 3-shard batch fan-out must hold the
 # pooled span-forwarding path (~25 allocs/batch today, dominated by the
 # benchmark's own request construction; the 200 ceiling leaves headroom for
-# JSON noise, not for a per-item allocation, which would cost >= 64).
-BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkShardFanout64=200 -gate BenchmarkPredictQuantised=0 -gate BenchmarkPredictCPS5=0 -gate BenchmarkPredictHMM=0 -gate BenchmarkRerankPairwise=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6 -gate BenchmarkCompiledBlobSizeV5:cps5-over-cps4=0.8
+# JSON noise, not for a per-item allocation, which would cost >= 64). The
+# replicated fan-out's allocation cost must stay within 1.5x the unreplicated
+# path (it is 1.0x today: preference lists and attempt masks are pooled).
+BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkShardFanout64=200 -gate BenchmarkShardFanout64R2:fanout-r2-over-r1=1.5 -gate BenchmarkPredictQuantised=0 -gate BenchmarkPredictCPS5=0 -gate BenchmarkPredictHMM=0 -gate BenchmarkRerankPairwise=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6 -gate BenchmarkCompiledBlobSizeV5:cps5-over-cps4=0.8
 
-.PHONY: all build test race bench bench-json fmt fmt-check vet check-docs check-api ci serve loadgen clean
+.PHONY: all build test race bench bench-json chaos fmt fmt-check vet check-docs check-api ci serve loadgen clean
 
 all: build test
 
@@ -30,6 +32,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection harness: the replicated ring's chaos scenarios (shard
+# killed mid-batch, reload storm during fan-out, flapping shard, hedged
+# GETs) under the race detector — the availability claims, enforced.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestAntiEntropy|TestAdminState|TestRingLookupN' ./internal/fleet
 
 # Benchmark smoke: one iteration of every benchmark, no test re-runs. Run
 # twice — single-core and 4-core — so the parallel batch descent's worker
@@ -69,7 +77,7 @@ check-docs:
 check-api: vet
 	$(GO) run ./cmd/apilint .
 
-ci: check-api fmt-check check-docs build race bench
+ci: check-api fmt-check check-docs build race chaos bench
 
 # Convenience: train a small model if absent, then serve it.
 model.bin:

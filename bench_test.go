@@ -823,6 +823,63 @@ func BenchmarkShardFanout64(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/context")
 }
 
+// BenchmarkShardFanout64R2 measures the replicated fan-out against the
+// unreplicated one on the same ring: the preference-list planning, attempt
+// masks and failover rounds must not regress the pooled fan-out's allocation
+// discipline. CI gates the reported fanout-r2-over-r1 allocation ratio
+// (healthy path, no failovers) at 1.5; ns/op is one R=2 batch.
+func BenchmarkShardFanout64R2(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	handlers := make([]http.Handler, 3)
+	for i := range handlers {
+		handlers[i] = serve.NewHandler(rec, 5)
+	}
+	build := func(r int) *fleet.ShardRouter {
+		router, err := fleet.NewShardRouterOpts(fleet.NewRing(3, 0), fleet.NewLoopbackTransport(handlers...),
+			fleet.RouterOptions{Replicas: r})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return router
+	}
+	r1, r2 := build(1), build(2)
+	req := serve.BatchRequest{Requests: make([]serve.BatchItem, 64)}
+	for i := range req.Requests {
+		req.Requests[i] = serve.BatchItem{Context: ctxs[(i*7)%len(ctxs)], N: 5}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(router *fleet.ShardRouter, rr *benchRecorder) {
+		hr := httptest.NewRequest(http.MethodPost, "/suggest/batch", bytes.NewReader(body))
+		rr.reset()
+		router.ServeHTTP(rr, hr)
+		if rr.code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.code, rr.body)
+		}
+	}
+	// Steady-state allocation ratio: warm both routers' pools and shard
+	// caches, then compare averaged allocations per batch.
+	rr := &benchRecorder{header: make(http.Header, 4)}
+	for rep := 0; rep < 4; rep++ {
+		run(r1, rr)
+		run(r2, rr)
+	}
+	allocsR1 := testing.AllocsPerRun(50, func() { run(r1, rr) })
+	allocsR2 := testing.AllocsPerRun(50, func() { run(r2, rr) })
+	if allocsR1 < 1 {
+		allocsR1 = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(r2, rr)
+	}
+	b.ReportMetric(64, "contexts/op")
+	b.ReportMetric(allocsR2, "r2-allocs/op")
+	b.ReportMetric(allocsR2/allocsR1, "fanout-r2-over-r1")
+}
+
 // BenchmarkServeHTTPBatch measures POST /suggest/batch end to end with
 // 64-context requests: JSON decode, cache front, one batched trie descent
 // for the misses, append-encoded response. ns/op is per batch.

@@ -36,9 +36,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/loggen"
 	"repro/internal/serve"
 )
+
+// failoverStats aggregates the replay's view of the router's failure policy:
+// responses that were failed over or hedged (from X-Serve-Attempts /
+// X-Serve-Hedge / X-Serve-Failovers headers) and NDJSON error lines — the
+// quantified availability number a chaos run reads.
+type failoverStats struct {
+	failedOver atomic.Int64 // GET responses served after >1 attempt
+	hedgedWon  atomic.Int64 // GET responses won by a hedged attempt
+	batchItems atomic.Int64 // buffered batch items served by a non-primary
+	lines      atomic.Int64 // NDJSON result lines seen
+	errLines   atomic.Int64 // NDJSON error lines seen
+}
 
 func main() {
 	log.SetFlags(0)
@@ -73,6 +86,7 @@ func main() {
 	var (
 		issued   atomic.Int64
 		errCount atomic.Int64
+		fstats   failoverStats
 		wg       sync.WaitGroup
 		latMu    sync.Mutex
 		lats     []time.Duration
@@ -105,9 +119,9 @@ func main() {
 				var took, first time.Duration
 				var arm string
 				if *batch > 0 {
-					took, first, err = doBatch(client, *addr, contexts, rng, *batch, *topN, *stream)
+					took, first, err = doBatch(client, *addr, contexts, rng, *batch, *topN, *stream, &fstats)
 				} else {
-					took, arm, err = doSingle(client, *addr, contexts[rng.Intn(len(contexts))], *topN)
+					took, arm, err = doSingle(client, *addr, contexts[rng.Intn(len(contexts))], *topN, &fstats)
 				}
 				if err != nil {
 					errCount.Add(1)
@@ -156,8 +170,31 @@ func main() {
 			pct(firsts, 0.50), pct(firsts, 0.90), pct(firsts, 0.99), firsts[len(firsts)-1])
 	}
 	printArmReport(armLats, ok)
+	printFailoverReport(&fstats, ok)
 	printClientMem(memBefore, memAfter, ok)
 	printServerMetrics(client, *addr, serverBefore, ctxServed)
+	printRouterMetrics(client, *addr)
+}
+
+// printFailoverReport summarises the failure policy's client-visible work:
+// how many responses needed a failover or were won by a hedge, and the NDJSON
+// error-line rate — zero across a chaos run at R>=2 is the availability
+// claim, quantified.
+func printFailoverReport(f *failoverStats, ok int) {
+	fo, hw, bi := f.failedOver.Load(), f.hedgedWon.Load(), f.batchItems.Load()
+	lines, errs := f.lines.Load(), f.errLines.Load()
+	if fo == 0 && hw == 0 && bi == 0 && lines == 0 {
+		return
+	}
+	if ok == 0 {
+		ok = 1
+	}
+	fmt.Printf("failover:    %d multi-attempt GETs (%.2f%%), %d hedge wins, %d failed-over batch items\n",
+		fo, 100*float64(fo)/float64(ok), hw, bi)
+	if lines > 0 {
+		fmt.Printf("stream:      %d lines, %d error lines (%.3f%% error-line rate)\n",
+			lines, errs, 100*float64(errs)/float64(lines))
+	}
 }
 
 // printClientMem reports the load generator's own runtime.ReadMemStats
@@ -216,7 +253,7 @@ func printArmReport(armLats map[string][]time.Duration, ok int) {
 	}
 }
 
-func doSingle(client *http.Client, addr string, context []string, n int) (time.Duration, string, error) {
+func doSingle(client *http.Client, addr string, context []string, n int, fstats *failoverStats) (time.Duration, string, error) {
 	v := url.Values{}
 	for _, q := range context {
 		v.Add("q", q)
@@ -241,6 +278,13 @@ func doSingle(client *http.Client, addr string, context []string, n int) (time.D
 			arm = "shard-" + shard
 		}
 	}
+	// Replicated routers label how hard they worked for the answer.
+	if a := resp.Header.Get("X-Serve-Attempts"); a != "" && a != "1" {
+		fstats.failedOver.Add(1)
+	}
+	if resp.Header.Get("X-Serve-Hedge") == "won" {
+		fstats.hedgedWon.Add(1)
+	}
 	return time.Since(start), arm, nil
 }
 
@@ -249,7 +293,7 @@ func doSingle(client *http.Client, addr string, context []string, n int) (time.D
 // separately from the full drain, and checks every line parses and the item
 // count matches the batch — the client-side contract of incremental serving.
 // The returned first duration is zero when stream is false.
-func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Rand, size, n int, stream bool) (took, first time.Duration, err error) {
+func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Rand, size, n int, stream bool, fstats *failoverStats) (took, first time.Duration, err error) {
 	req := serve.BatchRequest{Requests: make([]serve.BatchItem, size)}
 	for i := range req.Requests {
 		req.Requests[i] = serve.BatchItem{Context: contexts[rng.Intn(len(contexts))], N: n}
@@ -273,6 +317,11 @@ func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Ra
 		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	if !stream {
+		if fo := resp.Header.Get("X-Serve-Failovers"); fo != "" {
+			if n, err := strconv.Atoi(fo); err == nil {
+				fstats.batchItems.Add(int64(n))
+			}
+		}
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 			return 0, 0, err
 		}
@@ -286,10 +335,15 @@ func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Ra
 			continue
 		}
 		var line struct {
-			Index *int `json:"index"`
+			Index *int            `json:"index"`
+			Error json.RawMessage `json:"error"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Index == nil {
 			return 0, 0, fmt.Errorf("bad NDJSON line %d: %v", lines, err)
+		}
+		fstats.lines.Add(1)
+		if line.Error != nil {
+			fstats.errLines.Add(1)
 		}
 		if lines == 0 {
 			first = time.Since(start)
@@ -338,6 +392,30 @@ func fetchMetrics(client *http.Client, addr string) *serve.MetricsResponse {
 		return nil
 	}
 	return &m
+}
+
+// printRouterMetrics reports the router-side failure-policy counters when the
+// target is a replicated shard router: retries, failovers, hedges and the
+// per-shard breaker states — the server-side half of the chaos availability
+// number.
+func printRouterMetrics(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/v1/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var m fleet.ShardRouterMetrics
+	if json.NewDecoder(resp.Body).Decode(&m) != nil || m.Role != "router" || m.Replicas < 2 {
+		return
+	}
+	fmt.Printf("router:      R=%d, %d retries, %d failovers, %d/%d hedges won\n",
+		m.Replicas, m.Retries, m.Failovers, m.HedgesWon, m.Hedges)
+	for _, h := range m.ShardHealth {
+		if h.State != "healthy" || h.Failures > 0 {
+			fmt.Printf("  shard %d: %s, %d fails (%d consecutive), %d ejections\n",
+				h.Shard, h.State, h.Failures, h.ConsecutiveFailures, h.Ejections)
+		}
+	}
 }
 
 func printServerMetrics(client *http.Client, addr string, before *serve.MetricsResponse, ctxServed int) {

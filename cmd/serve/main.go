@@ -110,6 +110,11 @@ func main() {
 		rerank    = flag.String("rerank", "", "pairwise rerank 'path[:lambda]': blend the champion's top-N with an adjacency model (QRECF001, fleet mode only)")
 		shards    = flag.String("shards", "", "router backends: an integer N for an in-process loopback ring over -model, or comma-separated shard base URLs")
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default)")
+		replicas  = flag.Int("replicas", 1, "router replication factor R: each key range maps to R distinct shards and fails over along the list (1 = off)")
+		shardTO   = flag.Duration("shard-timeout", 2*time.Second, "router per-attempt deadline before failing over to the next replica (0 = transport default only)")
+		hedge     = flag.Duration("hedge-after", 0, "router hedged GETs: fire the next replica after this delay and take the first success (0 = off, negative = auto from live p99)")
+		peers     = flag.String("peers", "", "comma-separated peer router base URLs for the anti-entropy sweep of fleet admin state")
+		syncEvery = flag.Duration("sync-every", 5*time.Second, "anti-entropy sweep interval (shards re-read + peers pulled)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		topN      = flag.Int("n", 5, "default suggestion count")
 		cacheCap  = flag.Int("cache", 0, "result cache capacity (0 = default; loopback rings split it across shards)")
@@ -131,7 +136,18 @@ func main() {
 		handler = h
 		onHUP = h.reloadAll
 	case "router":
-		handler = buildRouterHandler(*shards, *vnodes, *modelPath, *topN, *cacheCap)
+		ropts := fleet.RouterOptions{
+			Replicas:     *replicas,
+			ShardTimeout: *shardTO,
+			HedgeAfter:   *hedge,
+		}
+		router := buildRouterHandler(*shards, *vnodes, *modelPath, *topN, *cacheCap, ropts)
+		if *peers != "" {
+			router.SetPeers(strings.Split(*peers, ","), nil)
+		}
+		stopSweep := router.StartAntiEntropy(*syncEvery)
+		defer stopSweep()
+		handler = router
 		onHUP = func() { log.Print("SIGHUP ignored: POST /reload to the router (broadcast to all shards)") }
 	default:
 		log.Fatalf("unknown -role %q (want serve, shard or router)", *role)
@@ -306,8 +322,8 @@ func buildReranker(spec string, champion core.Recommender) (fleet.Reranker, erro
 
 // buildRouterHandler assembles the router role: a consistent-hash ring over
 // an in-process loopback (integer -shards, sharing one -model) or remote
-// shard URLs.
-func buildRouterHandler(shards string, vnodes int, modelPath string, topN, cacheCap int) *fleet.ShardRouter {
+// shard URLs, replicated and failure-policied per ropts.
+func buildRouterHandler(shards string, vnodes int, modelPath string, topN, cacheCap int, ropts fleet.RouterOptions) *fleet.ShardRouter {
 	if shards == "" {
 		log.Fatal("-role router needs -shards (an integer for a loopback ring, or comma-separated shard URLs)")
 	}
@@ -335,30 +351,27 @@ func buildRouterHandler(shards string, vnodes int, modelPath string, topN, cache
 				ReloadFunc: func() (core.Recommender, error) { return loadModel(modelPath) },
 			})
 		}
-		router, err := fleet.NewShardRouter(fleet.NewRing(n, vnodes), fleet.NewLoopbackTransport(handlers...))
+		router, err := fleet.NewShardRouterOpts(fleet.NewRing(n, vnodes), fleet.NewLoopbackTransport(handlers...), ropts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loopback ring: %d shards over one model, %d virtual nodes/shard", n, ringVnodes(vnodes))
+		log.Printf("loopback ring: %d shards over one model, %d virtual nodes/shard, R=%d",
+			n, ringVnodes(vnodes), router.Replicas())
 		return router
 	}
 	urls := strings.Split(shards, ",")
-	client := &http.Client{
-		Timeout: 10 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        256,
-			MaxIdleConnsPerHost: 64,
-		},
-	}
-	tr, err := fleet.NewHTTPTransport(urls, client)
+	// nil client: NewHTTPTransport supplies dial/response timeouts and a
+	// sized connection pool; -shard-timeout bounds each attempt via ctx.
+	tr, err := fleet.NewHTTPTransport(urls, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	router, err := fleet.NewShardRouter(fleet.NewRing(len(urls), vnodes), tr)
+	router, err := fleet.NewShardRouterOpts(fleet.NewRing(len(urls), vnodes), tr, ropts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("HTTP ring: %d shards (%s), %d virtual nodes/shard", len(urls), shards, ringVnodes(vnodes))
+	log.Printf("HTTP ring: %d shards (%s), %d virtual nodes/shard, R=%d",
+		len(urls), shards, ringVnodes(vnodes), router.Replicas())
 	return router
 }
 

@@ -1,0 +1,648 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+// chaosTransport wraps a fleet.Transport with fault injection: shards can be
+// killed outright (down), made to fail their next N exchanges (failN — the
+// "killed mid-batch" primitive), or slowed (delay, cancellable via ctx so
+// hedged losers stop early). Faults flip at runtime under the mutex, so a
+// test can kill a shard between a baseline run and a failover run, or
+// mid-stream from another goroutine.
+type chaosTransport struct {
+	inner fleet.Transport
+
+	mu    sync.Mutex
+	down  map[int]bool
+	failN map[int]int
+	delay map[int]time.Duration
+	calls map[int]int
+}
+
+func newChaosTransport(inner fleet.Transport) *chaosTransport {
+	return &chaosTransport{
+		inner: inner,
+		down:  make(map[int]bool),
+		failN: make(map[int]int),
+		delay: make(map[int]time.Duration),
+		calls: make(map[int]int),
+	}
+}
+
+func (c *chaosTransport) Shards() int { return c.inner.Shards() }
+
+// setDown kills or revives a shard.
+func (c *chaosTransport) setDown(shard int, down bool) {
+	c.mu.Lock()
+	c.down[shard] = down
+	c.mu.Unlock()
+}
+
+// failNext makes the shard's next n exchanges fail, then recover.
+func (c *chaosTransport) failNext(shard, n int) {
+	c.mu.Lock()
+	c.failN[shard] = n
+	c.mu.Unlock()
+}
+
+// setDelay slows every exchange to the shard.
+func (c *chaosTransport) setDelay(shard int, d time.Duration) {
+	c.mu.Lock()
+	c.delay[shard] = d
+	c.mu.Unlock()
+}
+
+func (c *chaosTransport) callCount(shard int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[shard]
+}
+
+func (c *chaosTransport) Exchange(ctx context.Context, shard int, method, path string, body, respBuf []byte) (int, []byte, error) {
+	c.mu.Lock()
+	c.calls[shard]++
+	down := c.down[shard]
+	fail := false
+	if c.failN[shard] > 0 {
+		c.failN[shard]--
+		fail = true
+	}
+	d := c.delay[shard]
+	c.mu.Unlock()
+	if down || fail {
+		return 0, respBuf, fmt.Errorf("chaos: shard %d connection refused", shard)
+	}
+	if d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return 0, respBuf, ctx.Err()
+		}
+	}
+	return c.inner.Exchange(ctx, shard, method, path, body, respBuf)
+}
+
+// newChaosRing builds an R-replicated loopback ring behind a chaos transport.
+// Backoff sleeps are disabled so failover rounds run at test speed.
+func newChaosRing(t *testing.T, shards int, opts fleet.RouterOptions) (*fleet.ShardRouter, *chaosTransport) {
+	t.Helper()
+	rec := shardTestRec(t)
+	handlers := make([]http.Handler, shards)
+	for i := range handlers {
+		handlers[i] = serve.NewHandler(rec, 5)
+	}
+	chaos := newChaosTransport(fleet.NewLoopbackTransport(handlers...))
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = -1
+	}
+	router, err := fleet.NewShardRouterOpts(fleet.NewRing(shards, 0), chaos, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router, chaos
+}
+
+// TestRingLookupN pins the preference-list contract: the first element is
+// exactly Lookup, all elements are distinct, independently built rings agree
+// on the whole list, and n is capped at the shard count.
+func TestRingLookupN(t *testing.T) {
+	r1, r2 := fleet.NewRing(5, 0), fleet.NewRing(5, 0)
+	for h := uint64(0); h < 2000; h += 17 {
+		prefs := r1.LookupN(h, 3, nil)
+		if len(prefs) != 3 {
+			t.Fatalf("h=%d: %d prefs, want 3", h, len(prefs))
+		}
+		if prefs[0] != r1.Lookup(h) {
+			t.Fatalf("h=%d: primary %d != Lookup %d", h, prefs[0], r1.Lookup(h))
+		}
+		seen := map[int]bool{}
+		for _, s := range prefs {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("h=%d: bad or duplicate shard in %v", h, prefs)
+			}
+			seen[s] = true
+		}
+		other := r2.LookupN(h, 3, nil)
+		for i := range prefs {
+			if prefs[i] != other[i] {
+				t.Fatalf("h=%d: rings disagree: %v vs %v", h, prefs, other)
+			}
+		}
+	}
+	if got := r1.LookupN(42, 99, nil); len(got) != 5 {
+		t.Fatalf("n beyond ring size gave %d prefs, want 5", len(got))
+	}
+}
+
+// chaosBatchBody spans all three shards of the test ring.
+const chaosBatchBody = `{"requests":[{"context":["o2"]},{"context":["nokia n73"],"n":1},{"context":["o2","o2 mobile"]},{"context":["never seen"]},{"context":["nokia n73"]},{"context":["o2 mobile phones","o2"]}]}`
+
+var chaosGETQueries = []string{
+	"q=o2", "q=o2+mobile", "q=o2&q=o2+mobile", "q=nokia+n73",
+	"q=nokia%20n73&n=2", "q=o2+mobile+phones&q=o2", "q=unknown+stuff", "q=o2&n=1",
+}
+
+// TestChaosShardKillMidBatchR2 is the issue's acceptance scenario: at R=2
+// with one shard killed mid-batch, /suggest and /suggest/batch (buffered and
+// ?stream=1) must return byte-identical bodies to the healthy topology with
+// zero 5xx — the failover absorbs the fault invisibly.
+func TestChaosShardKillMidBatchR2(t *testing.T) {
+	router, chaos := newChaosRing(t, 3, fleet.RouterOptions{Replicas: 2})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	// Healthy baselines.
+	getWant := make([]string, len(chaosGETQueries))
+	for i, qs := range chaosGETQueries {
+		body, _, code := getBody(t, srv.URL+"/suggest?"+qs)
+		if code != http.StatusOK {
+			t.Fatalf("healthy GET %s: status %d", qs, code)
+		}
+		getWant[i] = stripTook(body)
+	}
+	post := func(path string) ([]byte, int) {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(chaosBatchBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, resp.StatusCode
+	}
+	bufWant, code := post("/suggest/batch")
+	if code != http.StatusOK {
+		t.Fatalf("healthy buffered batch: status %d", code)
+	}
+	streamWantRaw, code := post("/suggest/batch?stream=1")
+	if code != http.StatusOK {
+		t.Fatalf("healthy stream batch: status %d", code)
+	}
+	streamWant := readRingNDJSON(t, strings.NewReader(string(streamWantRaw)), 6)
+
+	// Kill one shard "mid-batch": its next exchange fails (the sub-batch in
+	// flight), then the shard stays down for everything after.
+	const victim = 0
+	chaos.failNext(victim, 1)
+	chaos.setDown(victim, false)
+	gotBuf, code := post("/suggest/batch")
+	if code != http.StatusOK {
+		t.Fatalf("mid-batch kill: buffered status %d: %s", code, gotBuf)
+	}
+	if stripTook(gotBuf) != stripTook(bufWant) {
+		t.Fatalf("mid-batch kill changed the buffered body:\ngot:  %s\nwant: %s", gotBuf, bufWant)
+	}
+	chaos.setDown(victim, true)
+
+	// GETs: every query, repeated, must stay 200 and byte-identical.
+	for rep := 0; rep < 3; rep++ {
+		for i, qs := range chaosGETQueries {
+			body, _, code := getBody(t, srv.URL+"/suggest?"+qs)
+			if code != http.StatusOK {
+				t.Fatalf("shard-down GET %s: status %d: %s", qs, code, body)
+			}
+			if stripTook(body) != getWant[i] {
+				t.Fatalf("shard-down GET %s changed:\ngot:  %s\nwant: %s", qs, stripTook(body), getWant[i])
+			}
+		}
+	}
+	// Buffered batch: 200 and byte-identical with the shard hard-down.
+	gotBuf, code = post("/suggest/batch")
+	if code != http.StatusOK {
+		t.Fatalf("shard-down buffered batch: status %d: %s", code, gotBuf)
+	}
+	if stripTook(gotBuf) != stripTook(bufWant) {
+		t.Fatalf("shard-down buffered body changed:\ngot:  %s\nwant: %s", gotBuf, bufWant)
+	}
+	// Streamed batch: same per-index result bytes, no error lines.
+	gotStreamRaw, code := post("/suggest/batch?stream=1")
+	if code != http.StatusOK {
+		t.Fatalf("shard-down stream batch: status %d", code)
+	}
+	for i, ln := range readRingNDJSON(t, strings.NewReader(string(gotStreamRaw)), 6) {
+		if ln.Error != nil {
+			t.Fatalf("shard-down stream item %d carries an error: %s", i, ln.Error)
+		}
+		if got, want := stripTook(ln.Result), stripTook(streamWant[i].Result); got != want {
+			t.Fatalf("shard-down stream item %d changed:\ngot:  %s\nwant: %s", i, got, want)
+		}
+	}
+
+	// The failure policy did real work and says so in /v1/metrics.
+	raw, _, _ := getBody(t, srv.URL+"/v1/metrics")
+	var m fleet.ShardRouterMetrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Replicas != 2 {
+		t.Fatalf("metrics replicas = %d, want 2", m.Replicas)
+	}
+	if m.Retries == 0 || m.Failovers == 0 {
+		t.Fatalf("expected nonzero retries and failovers after chaos: %+v", m)
+	}
+	if len(m.ShardHealth) != 3 || m.ShardHealth[victim].Failures == 0 {
+		t.Fatalf("shard health missing the victim's failures: %+v", m.ShardHealth)
+	}
+
+	// /healthz reports the ejected shard but stays ok (quorum healthy).
+	raw, _, _ = getBody(t, srv.URL+"/healthz")
+	var h fleet.ShardRouterHealth
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Replicas != 2 || h.ShardsHealthy < 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestChaosStreamFailoverByteIdentical kills the primary of a streamed
+// batch's first sub-batch mid-stream at R=2: the emitted NDJSON lines must
+// be byte-identical to the healthy run (modulo took_us) — no error lines, no
+// duplicate indices (readRingNDJSON enforces exactly-once coverage).
+func TestChaosStreamFailoverByteIdentical(t *testing.T) {
+	router, chaos := newChaosRing(t, 3, fleet.RouterOptions{Replicas: 2})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	post := func() []ringNDJSONLine {
+		resp, err := http.Post(srv.URL+"/v1/suggest/batch?stream=1", "application/json", strings.NewReader(chaosBatchBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status = %d", resp.StatusCode)
+		}
+		return readRingNDJSON(t, resp.Body, 6)
+	}
+	want := post()
+
+	// Find a shard that actually carries items of this batch and kill it for
+	// exactly the next sub-batch it receives — the primary dies mid-stream,
+	// after the 200 is committed and other shards' lines are flushing.
+	victim := -1
+	for s := 0; s < 3; s++ {
+		if chaos.callCount(s) > 0 {
+			victim = s
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no shard carried batch traffic")
+	}
+	chaos.failNext(victim, 1)
+	got := post()
+	for i := range want {
+		if got[i].Error != nil {
+			t.Fatalf("failover stream item %d carries an error: %s", i, got[i].Error)
+		}
+		if stripTook(got[i].Result) != stripTook(want[i].Result) {
+			t.Fatalf("failover stream item %d changed:\ngot:  %s\nwant: %s",
+				i, stripTook(got[i].Result), stripTook(want[i].Result))
+		}
+	}
+
+	// At R=1 the same kill has no replica to walk to: the stream degrades to
+	// error lines for the victim's items — but still answers every index
+	// exactly once and never a 5xx.
+	router1, chaos1 := newChaosRing(t, 3, fleet.RouterOptions{Replicas: 1})
+	srv1 := httptest.NewServer(router1)
+	defer srv1.Close()
+	resp, err := http.Post(srv1.URL+"/v1/suggest/batch?stream=1", "application/json", strings.NewReader(chaosBatchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	victim1 := -1
+	for s := 0; s < 3; s++ {
+		if chaos1.callCount(s) > 0 {
+			victim1 = s
+			break
+		}
+	}
+	chaos1.failNext(victim1, 1)
+	resp, err = http.Post(srv1.URL+"/v1/suggest/batch?stream=1", "application/json", strings.NewReader(chaosBatchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("R=1 stream status = %d, want 200", resp.StatusCode)
+	}
+	sawError := false
+	for _, ln := range readRingNDJSON(t, resp.Body, 6) {
+		if ln.Error != nil {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Fatal("R=1 mid-stream kill produced no error lines — fault was not injected")
+	}
+}
+
+// TestChaosReloadStormDuringFanout hammers the ring with concurrent reload
+// broadcasts while batches and GETs are in flight at R=2: no request may see
+// a 5xx, and every batch stays byte-identical. Run under -race (make chaos),
+// this is also the fan-out's concurrency audit.
+func TestChaosReloadStormDuringFanout(t *testing.T) {
+	router, chaos := newChaosRing(t, 3, fleet.RouterOptions{Replicas: 2})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/suggest/batch", "application/json", strings.NewReader(chaosBatchBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Reload storm: the shards can't reload (501) but the broadcast still
+	// exercises the admin path concurrently with the fan-out; sprinkle
+	// transient shard failures so failover runs during the storm too.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(srv.URL+"/v1/reload", "", nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Transient faults on a single shard only: at R=2 every item always has
+	// one clean replica, so zero 5xx is a real invariant (faulting two shards
+	// at once could legitimately exhaust an item's whole preference list).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			chaos.failNext(0, 1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(srv.URL+"/suggest/batch", "application/json", strings.NewReader(chaosBatchBody))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= http.StatusInternalServerError {
+					errs <- fmt.Errorf("batch during storm: status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				if resp.StatusCode == http.StatusOK && stripTook(raw) != stripTook(want) {
+					errs <- fmt.Errorf("batch during storm changed:\ngot:  %s\nwant: %s", raw, want)
+					return
+				}
+				body, _, code := getBody(t, srv.URL+"/suggest?q=o2")
+				if code >= http.StatusInternalServerError {
+					errs <- fmt.Errorf("GET during storm: status %d: %s", code, body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestChaosFlappingShard drives a shard through the breaker's full cycle:
+// consecutive failures eject it ("ejected" in /healthz, traffic routed
+// around it), the cool-down admits a half-open probe, and a healthy probe
+// restores it to the walk ("healthy" again, serving traffic).
+func TestChaosFlappingShard(t *testing.T) {
+	router, chaos := newChaosRing(t, 3, fleet.RouterOptions{
+		Replicas:      2,
+		FailThreshold: 3,
+		ProbeAfter:    20 * time.Millisecond,
+	})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	healthOf := func(shard int) fleet.ShardHealthStats {
+		raw, _, _ := getBody(t, srv.URL+"/healthz")
+		var h fleet.ShardRouterHealth
+		if err := json.Unmarshal(raw, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h.ShardHealth[shard]
+	}
+
+	const victim = 1
+	chaos.setDown(victim, true)
+	// Push traffic until the victim accumulates FailThreshold consecutive
+	// failures; every request still answers 200 off the surviving replica.
+	for i := 0; i < 30 && healthOf(victim).State != "ejected"; i++ {
+		for _, qs := range chaosGETQueries {
+			if _, _, code := getBody(t, srv.URL+"/suggest?"+qs); code != http.StatusOK {
+				t.Fatalf("GET %s during flap: status %d", qs, code)
+			}
+		}
+	}
+	if st := healthOf(victim); st.State != "ejected" || st.Ejections == 0 {
+		t.Fatalf("victim never ejected: %+v", st)
+	}
+
+	// Ejected: the preference walk must skip it — no more transport calls.
+	before := chaos.callCount(victim)
+	for _, qs := range chaosGETQueries {
+		getBody(t, srv.URL+"/suggest?"+qs)
+	}
+	if got := chaos.callCount(victim); got != before {
+		t.Fatalf("ejected shard still saw %d calls", got-before)
+	}
+
+	// Revive, wait out the cool-down: the next touch probes and recovers.
+	chaos.setDown(victim, false)
+	time.Sleep(25 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for healthOf(victim).State != "healthy" {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never recovered: %+v", healthOf(victim))
+		}
+		for _, qs := range chaosGETQueries {
+			if _, _, code := getBody(t, srv.URL+"/suggest?"+qs); code != http.StatusOK {
+				t.Fatalf("GET %s during recovery: status %d", qs, code)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Recovered: the shard serves again.
+	before = chaos.callCount(victim)
+	for rep := 0; rep < 3; rep++ {
+		for _, qs := range chaosGETQueries {
+			getBody(t, srv.URL+"/suggest?"+qs)
+		}
+	}
+	if chaos.callCount(victim) == before {
+		t.Fatal("recovered shard got no traffic")
+	}
+}
+
+// TestChaosGETHedge slows one shard far past the hedge delay: a GET whose
+// primary is the slow shard must be answered by the hedged replica (first
+// success wins), flagged X-Serve-Hedge: won, and counted in hedges_won.
+func TestChaosGETHedge(t *testing.T) {
+	router, chaos := newChaosRing(t, 3, fleet.RouterOptions{
+		Replicas:   2,
+		HedgeAfter: 2 * time.Millisecond,
+	})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	// Find a query whose primary we can slow down.
+	raw, _, _ := getBody(t, srv.URL+"/v1/route?q=o2")
+	var ri fleet.RouteResponse
+	if err := json.Unmarshal(raw, &ri); err != nil {
+		t.Fatal(err)
+	}
+	if len(ri.Replicas) != 2 {
+		t.Fatalf("route replicas = %v, want 2", ri.Replicas)
+	}
+	chaos.setDelay(ri.Shard, 250*time.Millisecond)
+
+	body, hdr, code := getBody(t, srv.URL+"/suggest?q=o2")
+	if code != http.StatusOK {
+		t.Fatalf("hedged GET status %d: %s", code, body)
+	}
+	if got := hdr.Get("X-Serve-Shard"); got != fmt.Sprint(ri.Replicas[1]) {
+		t.Fatalf("hedged GET served by shard %s, want replica %d", got, ri.Replicas[1])
+	}
+	if hdr.Get("X-Serve-Hedge") != "won" {
+		t.Fatalf("missing X-Serve-Hedge: won (headers %v)", hdr)
+	}
+	if hdr.Get("X-Serve-Attempts") != "2" {
+		t.Fatalf("X-Serve-Attempts = %q, want 2", hdr.Get("X-Serve-Attempts"))
+	}
+	raw, _, _ = getBody(t, srv.URL+"/v1/metrics")
+	var m fleet.ShardRouterMetrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Hedges == 0 || m.HedgesWon == 0 {
+		t.Fatalf("hedge counters not moving: %+v", m)
+	}
+}
+
+// TestChaosStrandedProbeRelease reproduces the hedge-race probe strand: an
+// ejected shard's half-open probe claim rides on a GET attempt that loses the
+// hedge race and is cancelled before it reports back. The loser drain must
+// hand the claim back (or close the breaker when the loser genuinely
+// answered) — without the release the breaker sticks at "probing" forever,
+// every preference walk skips the shard, and it can never recover.
+func TestChaosStrandedProbeRelease(t *testing.T) {
+	router, chaos := newChaosRing(t, 2, fleet.RouterOptions{
+		Replicas:      2,
+		FailThreshold: 1,
+		ProbeAfter:    5 * time.Millisecond,
+		HedgeAfter:    100 * time.Microsecond,
+	})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	healthOf := func(shard int) fleet.ShardHealthStats {
+		raw, _, _ := getBody(t, srv.URL+"/healthz")
+		var h fleet.ShardRouterHealth
+		if err := json.Unmarshal(raw, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h.ShardHealth[shard]
+	}
+
+	// Find a query whose primary is shard 0, so its half-open probes ride
+	// primary GET attempts that a fast hedge to shard 1 can beat.
+	query := ""
+	for _, qs := range chaosGETQueries {
+		raw, _, _ := getBody(t, srv.URL+"/v1/route?"+qs)
+		var ri fleet.RouteResponse
+		if err := json.Unmarshal(raw, &ri); err != nil {
+			t.Fatal(err)
+		}
+		if ri.Shard == 0 {
+			query = qs
+			break
+		}
+	}
+	if query == "" {
+		t.Fatal("no chaos query routes to shard 0")
+	}
+
+	// Eject shard 0: with FailThreshold 1 a single refused connection opens
+	// the breaker, and the request still answers off the replica.
+	chaos.setDown(0, true)
+	if _, _, code := getBody(t, srv.URL+"/suggest?"+query); code != http.StatusOK {
+		t.Fatalf("GET with primary down: status %d", code)
+	}
+	if st := healthOf(0); st.State != "ejected" {
+		t.Fatalf("shard 0 not ejected after failure: %+v", st)
+	}
+
+	// Revive it slow. The next GET's preference walk claims the half-open
+	// probe and rides it on the primary attempt; the 100µs hedge to shard 1
+	// answers first and the probe-carrying loser is cancelled mid-delay.
+	// (callCount is no proof here: pick()'s fail-open second pass can still
+	// hedge onto a stranded shard, so the count grows either way.)
+	chaos.setDown(0, false)
+	chaos.setDelay(0, 50*time.Millisecond)
+	time.Sleep(6 * time.Millisecond) // past the ejection cool-down
+
+	for i := 0; i < 10; i++ {
+		if _, _, code := getBody(t, srv.URL+"/suggest?"+query); code != http.StatusOK {
+			t.Fatalf("GET during slow probing: status %d", code)
+		}
+	}
+	// Quiesce: cancelled losers return immediately (the chaos delay is
+	// ctx-cancellable) and the drain hands claims back within the sleep. A
+	// breaker still reading "probing" with no probe in flight is stranded —
+	// the released claim reads "ejected" (or "healthy" if a probe won).
+	time.Sleep(50 * time.Millisecond)
+	if st := healthOf(0); st.State == "probing" {
+		t.Fatalf("probe claim stranded after losers drained: %+v", st)
+	}
+
+	// Drop the delay: the next probe answers before the hedge and closes the
+	// breaker (or lands as a successful loser, which also closes it).
+	chaos.setDelay(0, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for healthOf(0).State != "healthy" {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never recovered: %+v", healthOf(0))
+		}
+		getBody(t, srv.URL+"/suggest?"+query)
+		time.Sleep(time.Millisecond)
+	}
+}

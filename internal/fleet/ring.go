@@ -65,6 +65,44 @@ func NewRing(n, vnodes int) *Ring {
 // Shards returns the number of shard replicas on the ring.
 func (r *Ring) Shards() int { return r.shards }
 
+// LookupN appends the ordered preference list for a context hash to dst: up
+// to n distinct shards, walking clockwise from the probe point. The first
+// element is exactly Lookup(h) — the primary — and each further element is
+// the shard whose virtual node is met next on the circle, so every process
+// building the same ring agrees on the whole list, not just the primary.
+// The walk is lock- and allocation-free when dst has capacity n.
+func (r *Ring) LookupN(h uint64, n int, dst []int) []int {
+	if n > r.shards {
+		n = r.shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	h = mix64(h)
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	// Small n and small shard counts: a linear membership scan over the
+	// collected prefix beats any set structure.
+	start := len(dst)
+	for probes := 0; probes < len(pts) && len(dst)-start < n; probes++ {
+		s := int(pts[(i+probes)%len(pts)].shard)
+		seen := false
+		for _, got := range dst[start:] {
+			if got == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
 // Lookup maps a context hash to its owning shard: the probe is finalised
 // with the same full-width mixer as the virtual nodes (context hashes are
 // FNV too), then the first virtual node at or clockwise of it wins (wrapping
