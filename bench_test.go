@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/compiled"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/hmm"
+	"repro/internal/logfmt"
 	"repro/internal/loggen"
 	"repro/internal/markov"
 	"repro/internal/model"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/stream"
 )
 
 var (
@@ -1187,4 +1190,78 @@ func BenchmarkExtensionDrift(b *testing.B) {
 	}
 	last := r.Slices - 1
 	b.ReportMetric(r.RetrCov[last]-r.StaleCov[last], "retrain-coverage-gain")
+}
+
+// BenchmarkIngestSegment drives one full pass of the streaming ingestion
+// loop over a pre-written query log — tail read, session segmentation,
+// write-ahead segment logging and incremental count updates, recompiles
+// disabled — and reports sustained records/s. Each iteration starts from a
+// fresh write-log, so the op is a fixed unit of work and its allocs/op gate
+// in the Makefile pins the per-record allocation budget of the loop.
+func BenchmarkIngestSegment(b *testing.B) {
+	cfg := loggen.DefaultConfig()
+	cfg.Universe = loggen.UniverseConfig{
+		Topics: 16, RootsPerTopic: 4, ChainDepth: 2,
+		SynonymFrac: 0.3, Universals: 6, Generics: 4, Seed: 5,
+	}
+	cfg.Machines = 50
+	cfg.Seed = 5
+	g, err := loggen.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	logPath := filepath.Join(dir, "queries.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wr := logfmt.NewWriter(f)
+	records := 0
+	if _, err := g.GenerateRecords(300, func(r logfmt.Record) error {
+		records++
+		return wr.Write(r)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "ingest.wal")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ing, err := stream.NewIngester(stream.Config{
+			LogPath:           logPath,
+			WALPath:           walPath,
+			ModelPath:         filepath.Join(dir, "model.bin"),
+			Train:             core.Config{ReductionThreshold: 0, SessionGap: 30 * time.Minute},
+			SegmentRecords:    256,
+			RecompileSessions: 1 << 62, // count updates only: never recompile
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			progressed, err := ing.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !progressed {
+				break
+			}
+		}
+		if err := ing.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := os.Remove(walPath); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/loggen"
 	"repro/internal/serve"
+	"repro/internal/stream"
 )
 
 // failoverStats aggregates the replay's view of the router's failure policy:
@@ -174,6 +175,7 @@ func main() {
 	printClientMem(memBefore, memAfter, ok)
 	printServerMetrics(client, *addr, serverBefore, ctxServed)
 	printRouterMetrics(client, *addr)
+	printIngestStatus(client, *addr)
 }
 
 // printFailoverReport summarises the failure policy's client-visible work:
@@ -415,6 +417,29 @@ func printRouterMetrics(client *http.Client, addr string) {
 			fmt.Printf("  shard %d: %s, %d fails (%d consecutive), %d ejections\n",
 				h.Shard, h.State, h.Failures, h.ConsecutiveFailures, h.Ejections)
 		}
+	}
+}
+
+// printIngestStatus reports the server's embedded ingestion loop when one is
+// running (GET /v1/ingest answers 404 otherwise): how far the tailer is into
+// the source log and how many recompiled snapshots it has pushed at the fleet.
+func printIngestStatus(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/v1/ingest")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return // no ingestion loop in this process
+	}
+	var st stream.Status
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return
+	}
+	fmt.Printf("ingest:      %d sessions from %d log bytes (%d open), %d recompiles, %d pushes (%d failed), vocab %d\n",
+		st.Sessions, st.LogOffset, st.OpenSessions, st.Recompiles, st.Pushes, st.PushErrors, st.Vocab)
+	if st.LastError != "" {
+		fmt.Printf("  last ingest error: %s\n", st.LastError)
 	}
 }
 

@@ -66,6 +66,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/pairwise"
 	"repro/internal/serve"
+	"repro/internal/stream"
 )
 
 // loadOpts carries the flag-gated mmap paging hints into every model load.
@@ -124,6 +125,22 @@ func main() {
 		mlock     = flag.Bool("mlock", false, "mlock(2) the mmapped compiled blob: pin trie pages against eviction (needs RLIMIT_MEMLOCK)")
 		batchW    = flag.Int("batch-workers", 0, "goroutines per batch descent (0 = GOMAXPROCS, 1 = sequential; answers are identical)")
 	)
+	var ingest ingestOpts
+	flag.StringVar(&ingest.logPath, "ingest-log", "", "embed the streaming ingestion loop: tail this query log, retrain and push into the -ingest-arm slot (fleet mode only; see cmd/ingest for the standalone loop)")
+	flag.StringVar(&ingest.walPath, "ingest-wal", "ingest.wal", "ingestion write-log path (crash-replayed on restart)")
+	flag.StringVar(&ingest.modelOut, "ingest-model", "challenger.bin", "recompiled snapshot output path")
+	flag.StringVar(&ingest.arm, "ingest-arm", "challenger", "fleet arm reloaded in-process on every recompile")
+	flag.DurationVar(&ingest.gap, "ingest-gap", 30*time.Minute, "ingestion session gap")
+	flag.Uint64Var(&ingest.recompile, "ingest-recompile", 5000, "completed sessions between background recompiles")
+	flag.IntVar(&ingest.threshold, "ingest-threshold", 2, "drop session patterns seen fewer times at recompile (-1 = keep all)")
+	flag.DurationVar(&ingest.poll, "ingest-poll", 200*time.Millisecond, "tail poll interval when caught up")
+	flag.StringVar(&ingest.rampSteps, "ramp", "", "auto-ramp weight schedule for -ingest-arm, comma-separated ascending weights e.g. '1,5,25' (empty = pushes stay shadow-only)")
+	flag.DurationVar(&ingest.rampHold, "ramp-hold", 10*time.Minute, "minimum time at each ramp step before advancing")
+	flag.DurationVar(&ingest.rampEvery, "ramp-every", 15*time.Second, "ramp scheduler tick interval")
+	flag.Uint64Var(&ingest.rampMinSamples, "ramp-min-samples", 500, "shadow samples required before the challenger takes its first step")
+	flag.Float64Var(&ingest.rampMaxMismatch, "ramp-max-mismatch", 0, "freeze the ramp when the challenger's top-1 mismatch rate exceeds this (0 = off)")
+	flag.Float64Var(&ingest.rampMinOverlap, "ramp-min-overlap", 0, "freeze the ramp when mean rank overlap falls below this (0 = off)")
+	flag.BoolVar(&ingest.rampPromote, "ramp-promote", false, "after the final ramp step's hold, swap the challenger into the champion slot and advance the interning base")
 	flag.Parse()
 	loadOpts = core.LoadOptions{MapWillNeed: *willNeed, MapLock: *mlock}
 	batchWorkers = *batchW
@@ -132,7 +149,7 @@ func main() {
 	var onHUP func()
 	switch *role {
 	case "serve", "shard":
-		h := buildServeHandler(*modelPath, *arms, *rerank, *topN, *cacheCap, *quiet)
+		h := buildServeHandler(*modelPath, *arms, *rerank, *topN, *cacheCap, *quiet, ingest)
 		handler = h
 		onHUP = h.reloadAll
 	case "router":
@@ -225,7 +242,7 @@ func (p *serveProcess) reloadAll() {
 
 // buildServeHandler assembles the serve/shard role: single-model serving, or
 // a fleet registry + router when -arms is given.
-func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet bool) *serveProcess {
+func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet bool, ingest ingestOpts) *serveProcess {
 	opts := serve.Options{DefaultN: topN, CacheCapacity: cacheCap}
 	if !quiet {
 		opts.Logger = log.Default()
@@ -233,6 +250,9 @@ func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet
 	if arms == "" {
 		if rerank != "" {
 			log.Fatal("-rerank needs -arms (reranking is a fleet arm hook)")
+		}
+		if ingest.logPath != "" {
+			log.Fatal("-ingest-log needs -arms with a weight-0 challenger slot to push into (or run cmd/ingest standalone)")
 		}
 		rec, err := loadModel(modelPath)
 		if err != nil {
@@ -288,8 +308,114 @@ func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet
 		}
 		log.Printf("fleet arm %q: second-stage rerank %s", championArm, rk.Name())
 	}
+	if ingest.logPath != "" {
+		opts.IngestStatus = startIngestLoop(rt, champion, ingest)
+	}
 	opts.Fleet = rt
 	return &serveProcess{Handler: serve.New(champion, opts), fleetRouter: rt}
+}
+
+// ingestOpts carries the -ingest-* / -ramp-* flags into the embedded
+// streaming ingestion loop.
+type ingestOpts struct {
+	logPath, walPath, modelOut, arm string
+	gap, poll, rampHold, rampEvery  time.Duration
+	recompile, rampMinSamples       uint64
+	threshold                       int
+	rampSteps                       string
+	rampMaxMismatch, rampMinOverlap float64
+	rampPromote                     bool
+}
+
+// startIngestLoop embeds the cmd/ingest loop in the serving process: tail the
+// query log behind the write-log, recompile, and push snapshots into the
+// challenger slot in-process (the same swap-and-refresh path POST /v1/reload
+// takes, minus the HTTP hop). With -ramp it also runs the auto-ramp
+// scheduler. Returns the /v1/ingest status hook.
+func startIngestLoop(rt *fleet.Router, champion core.Recommender, io ingestOpts) func() any {
+	slot := rt.Registry().Slot(io.arm)
+	if slot == nil {
+		log.Fatalf("-ingest-arm %q is not a registered fleet arm (declare it in -arms, weight 0)", io.arm)
+	}
+	// The log may not exist yet at boot (the traffic tee starts later):
+	// create it empty so the tailer can start following.
+	if f, err := os.OpenFile(io.logPath, os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		log.Fatalf("-ingest-log %s: %v", io.logPath, err)
+	} else {
+		f.Close()
+	}
+	ing, err := stream.NewIngester(stream.Config{
+		LogPath:           io.logPath,
+		WALPath:           io.walPath,
+		ModelPath:         io.modelOut,
+		BaseVocab:         champion.Dict().Strings(),
+		Train:             core.Config{ReductionThreshold: io.threshold, SessionGap: io.gap},
+		RecompileSessions: io.recompile,
+		Push: func(modelPath string) error {
+			gen, err := slot.Reload(false)
+			if err != nil {
+				return err
+			}
+			if err := rt.RefreshBase(); err != nil {
+				log.Printf("ingest: interning base not advanced after push: %v", err)
+			}
+			log.Printf("ingest: pushed %s into arm %q (generation %d)", modelPath, io.arm, gen)
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st := ing.Status(); st.Replayed > 0 || st.TornTailBytes > 0 {
+		log.Printf("ingest: write-log replayed %d entries (%d sessions), %d torn bytes discarded, resuming at offset %d",
+			st.Replayed, st.Sessions, st.TornTailBytes, st.LogOffset)
+	}
+	go func() {
+		if err := ing.Run(context.Background(), io.poll); err != nil {
+			log.Printf("ingest: loop stopped: %v", err)
+		}
+	}()
+	log.Printf("ingest: tailing %s (write-log %s, recompile every %d sessions into arm %q)",
+		io.logPath, io.walPath, io.recompile, io.arm)
+
+	var ramp *fleet.Ramp
+	if io.rampSteps != "" {
+		var steps []uint32
+		for _, s := range strings.Split(io.rampSteps, ",") {
+			w, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+			if err != nil {
+				log.Fatalf("malformed -ramp step %q: %v", s, err)
+			}
+			steps = append(steps, uint32(w))
+		}
+		ramp, err = fleet.NewRamp(rt, io.arm, fleet.RampPolicy{
+			Steps:           steps,
+			Hold:            io.rampHold,
+			MinSamples:      io.rampMinSamples,
+			MaxTop1Mismatch: io.rampMaxMismatch,
+			MinRankOverlap:  io.rampMinOverlap,
+			Promote:         io.rampPromote,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ramp.Start(io.rampEvery)
+		log.Printf("ramp: arm %q walks %v (hold %s, %d shadow samples to start, promote=%v)",
+			io.arm, steps, io.rampHold, io.rampMinSamples, io.rampPromote)
+	}
+
+	type ingestView struct {
+		stream.Status
+		Ramp *fleet.RampStatus `json:"ramp,omitempty"`
+	}
+	return func() any {
+		v := ingestView{Status: ing.Status()}
+		if ramp != nil {
+			rs := ramp.Status()
+			v.Ramp = &rs
+		}
+		return v
+	}
 }
 
 // buildReranker decodes -rerank ('path[:lambda]') and loads the adjacency

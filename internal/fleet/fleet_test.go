@@ -287,8 +287,8 @@ func TestShadowDivergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	if len(rt.Arms()) != 1 || len(rt.ShadowSlots()) != 1 {
-		t.Fatalf("arms = %d, shadows = %d", len(rt.Arms()), len(rt.ShadowSlots()))
+	if rt.LiveArms() != 1 || len(rt.Arms()) != 2 || len(rt.ShadowSlots()) != 1 {
+		t.Fatalf("live = %d, arms = %d, shadows = %d", rt.LiveArms(), len(rt.Arms()), len(rt.ShadowSlots()))
 	}
 
 	champ := rt.Arm(0).Slot()

@@ -173,23 +173,53 @@ func rankOverlapMilli(a, b []core.Suggestion) int {
 	return 1000 * shared / max
 }
 
+// statRow snapshots one slot's counters into a ShadowStats row.
+func (sh *shadower) statRow(i int) ShadowStats {
+	slot := sh.slots[i]
+	n := sh.div[i].samples.Load()
+	s := ShadowStats{Name: slot.name, Samples: n, Dropped: sh.dropped.Load()}
+	if p := slot.State().Rec.Predictor(); p != nil {
+		s.Family = p.Shape().Family
+	}
+	if n > 0 {
+		s.Coverage = float64(sh.div[i].covered.Load()) / float64(n)
+		s.Top1MismatchRate = float64(sh.div[i].top1Mismatches.Load()) / float64(n)
+		s.MeanRankOverlap = float64(sh.div[i].overlapMilliSum.Load()) / (1000 * float64(n))
+	}
+	return s
+}
+
 // stats snapshots the per-slot divergence counters. Dropped samples are a
 // queue-wide count reported on every row.
 func (sh *shadower) stats() []ShadowStats {
 	out := make([]ShadowStats, len(sh.slots))
-	dropped := sh.dropped.Load()
-	for i, slot := range sh.slots {
-		n := sh.div[i].samples.Load()
-		s := ShadowStats{Name: slot.name, Samples: n, Dropped: dropped}
-		if p := slot.State().Rec.Predictor(); p != nil {
-			s.Family = p.Shape().Family
-		}
-		if n > 0 {
-			s.Coverage = float64(sh.div[i].covered.Load()) / float64(n)
-			s.Top1MismatchRate = float64(sh.div[i].top1Mismatches.Load()) / float64(n)
-			s.MeanRankOverlap = float64(sh.div[i].overlapMilliSum.Load()) / (1000 * float64(n))
-		}
-		out[i] = s
+	for i := range sh.slots {
+		out[i] = sh.statRow(i)
 	}
 	return out
+}
+
+// statsFor returns the row of one shadow slot by name.
+func (sh *shadower) statsFor(name string) (ShadowStats, bool) {
+	for i, slot := range sh.slots {
+		if slot.name == name {
+			return sh.statRow(i), true
+		}
+	}
+	return ShadowStats{}, false
+}
+
+// reset zeroes one slot's divergence counters (new challenger generation:
+// stale measurements must not steer the ramp). The queue-wide dropped count
+// is left alone.
+func (sh *shadower) reset(name string) {
+	for i, slot := range sh.slots {
+		if slot.name == name {
+			sh.div[i].samples.Store(0)
+			sh.div[i].covered.Store(0)
+			sh.div[i].top1Mismatches.Store(0)
+			sh.div[i].overlapMilliSum.Store(0)
+			return
+		}
+	}
 }

@@ -31,6 +31,27 @@ type Record struct {
 // ErrMalformed is wrapped by all parse errors produced by this package.
 var ErrMalformed = errors.New("logfmt: malformed record")
 
+// Stream-state errors distinguishing "writer mid-line" from "log corrupt" —
+// the distinction a tailer needs to decide between retrying and alarming.
+var (
+	// ErrTornLine reports that the stream ended mid-line: the final line has
+	// no terminating newline, which for a live log usually means the writer's
+	// append is still in flight. The error is retryable — the Reader keeps
+	// the partial bytes, and a later Read continues accumulating from the
+	// underlying reader (an *os.File that has grown returns the new bytes),
+	// so a tailer simply polls Read until the line completes.
+	ErrTornLine = errors.New("logfmt: torn final line (no trailing newline; partial write in progress?)")
+	// ErrOversizedLine reports a line exceeding MaxLineBytes. Unlike a torn
+	// tail this cannot heal — no valid record is that large — so the Reader
+	// latches the error: the log is corrupt and every subsequent Read
+	// returns it.
+	ErrOversizedLine = errors.New("logfmt: oversized line (log corrupt)")
+)
+
+// MaxLineBytes bounds one record line. Lines beyond it fail with
+// ErrOversizedLine instead of being buffered without limit.
+const MaxLineBytes = 1 << 20
+
 // timeLayout is the on-disk timestamp encoding: RFC3339 keeps records
 // human-inspectable while remaining unambiguous across days, unlike the
 // paper's clock-only "00:08:41" rendering.
@@ -144,25 +165,63 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
-// Reader streams records from an underlying io.Reader.
+// Reader streams records from an underlying io.Reader. It is tail-capable:
+// a final line without a newline fails with the retryable ErrTornLine while
+// the partial bytes are retained, so re-calling Read after the underlying
+// stream grows (e.g. an *os.File being appended to) resumes mid-line.
+// Offset reports how many bytes of complete lines have been consumed — the
+// resume point a crash-recovering tailer seeks back to.
 type Reader struct {
-	sc   *bufio.Scanner
-	line int
+	br      *bufio.Reader
+	line    int
+	off     int64  // bytes consumed through the end of the last complete line
+	pending []byte // partial final line retained across ErrTornLine retries
+	fatal   error  // latched unrecoverable stream error (oversized line)
 }
 
-// NewReader returns a record reader over r. Lines up to 1 MiB are accepted.
+// NewReader returns a record reader over r. Lines up to MaxLineBytes are
+// accepted; longer lines fail with ErrOversizedLine.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Reader{sc: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
 }
+
+// Offset returns the number of bytes consumed through the end of the last
+// complete line (returned record, skipped blank, or malformed line). Bytes of
+// a pending torn final line are excluded: a reader reopened at Offset resumes
+// exactly at the first unconsumed line.
+func (r *Reader) Offset() int64 { return r.off }
 
 // Read returns the next record, or io.EOF when the stream is exhausted.
-// Blank lines are skipped.
+// Blank lines are skipped. A stream ending mid-line returns ErrTornLine
+// (retryable: call Read again once the underlying stream has grown); a line
+// longer than MaxLineBytes returns ErrOversizedLine and poisons the reader.
 func (r *Reader) Read() (Record, error) {
-	for r.sc.Scan() {
+	if r.fatal != nil {
+		return Record{}, r.fatal
+	}
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		r.pending = append(r.pending, frag...)
+		if len(r.pending) > MaxLineBytes {
+			r.fatal = fmt.Errorf("line %d: %w (%d+ bytes)", r.line+1, ErrOversizedLine, len(r.pending))
+			return Record{}, r.fatal
+		}
+		if err == bufio.ErrBufferFull {
+			continue // long line split across buffer fills
+		}
+		if err != nil {
+			if err == io.EOF {
+				if len(r.pending) == 0 {
+					return Record{}, io.EOF
+				}
+				return Record{}, fmt.Errorf("line %d: %w", r.line+1, ErrTornLine)
+			}
+			return Record{}, err
+		}
 		r.line++
-		line := strings.TrimRight(r.sc.Text(), "\r")
+		r.off += int64(len(r.pending))
+		line := strings.TrimRight(string(r.pending), "\r\n")
+		r.pending = r.pending[:0]
 		if line == "" {
 			continue
 		}
@@ -172,10 +231,6 @@ func (r *Reader) Read() (Record, error) {
 		}
 		return rec, nil
 	}
-	if err := r.sc.Err(); err != nil {
-		return Record{}, err
-	}
-	return Record{}, io.EOF
 }
 
 // ReadAll drains the stream into a slice. Intended for tests and small logs;

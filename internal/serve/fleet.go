@@ -45,7 +45,10 @@ func (h *Handler) suggestFleet(w http.ResponseWriter, b *reqScratch, n int) {
 	h.m.suggests.Add(1)
 	h.m.lat.record(took)
 	rt.RecordServe(armIdx, took)
-	if len(b.ctx) > 0 {
+	// Shadow-score only champion-served requests: divergence metrics mean
+	// "challenger vs champion", and once a challenger ramps to live weight its
+	// own answers must not pollute its comparison baseline.
+	if len(b.ctx) > 0 && armIdx == 0 {
 		rt.Shadow(b.ctx, n, recs)
 	}
 	w.Header()["X-Serve-Arm"] = arm.HeaderValue()
@@ -174,9 +177,14 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 	weights := make(map[string]uint32)
 	reranks := make(map[string]string)
 	for i, a := range rt.Arms() {
+		// Roles follow the current (dynamic) weights: a declared-shadow arm
+		// that the ramp has walked to positive weight reads as a live arm.
 		role := "arm"
-		if i == 0 {
+		switch {
+		case i == 0:
 			role = "champion"
+		case a.Weight() == 0:
+			role = "shadow"
 		}
 		roles[a.Slot().Name()] = role
 		weights[a.Slot().Name()] = a.Weight()
@@ -185,7 +193,9 @@ func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, s := range rt.ShadowSlots() {
-		roles[s.Name()] = "shadow"
+		if _, routed := roles[s.Name()]; !routed {
+			roles[s.Name()] = "shadow"
+		}
 	}
 	resp := ModelsResponse{
 		BaseDictHash: fmt.Sprintf("%016x", rt.BaseDictHash()),

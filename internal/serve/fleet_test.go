@@ -263,8 +263,15 @@ func TestFleetModelsReloadByName(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(models.Models) != 3 || len(models.Arms) != 2 || len(models.Shadows) != 1 {
+	// Arms now lists every declared arm (the weight-0 shadow arm included,
+	// at weight 0) so ramp progress is observable per arm.
+	if len(models.Models) != 3 || len(models.Arms) != 3 || len(models.Shadows) != 1 {
 		t.Fatalf("models = %d arms = %d shadows = %d", len(models.Models), len(models.Arms), len(models.Shadows))
+	}
+	for _, a := range models.Arms {
+		if a.Name == "shadow" && a.Weight != 0 {
+			t.Fatalf("shadow arm weight = %d, want 0", a.Weight)
+		}
 	}
 	roles := map[string]string{}
 	for _, m := range models.Models {
@@ -318,20 +325,35 @@ func TestFleetModelsReloadByName(t *testing.T) {
 }
 
 // TestFleetShadowScoresWithoutServing: shadow arms must never serve but must
-// accumulate divergence samples from live traffic, visible in /metrics.
+// accumulate divergence samples from champion-served live traffic, visible in
+// /metrics. (Challenger-served requests are deliberately not shadow-scored:
+// divergence always means "versus the champion".)
 func TestFleetShadowScoresWithoutServing(t *testing.T) {
-	h, _ := newFleetHandler(t, 1, 1, true)
+	h, rt := newFleetHandler(t, 1, 1, true)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
+	// Pick a context the sticky hash assigns to the champion — only
+	// champion-served requests feed the shadow scorer.
+	championQuery := ""
+	for _, q := range []string{"o2", "o2 mobile", "o2 mobile phones"} {
+		if ctx := rt.AppendContext(nil, []string{q}); len(ctx) > 0 && rt.Route(ctx) == 0 {
+			championQuery = q
+			break
+		}
+	}
+	if championQuery == "" {
+		t.Fatal("no test query routes to the champion")
+	}
+
 	for i := 0; i < 16; i++ {
-		resp, err := http.Get(srv.URL + "/suggest?q=o2")
+		resp, err := http.Get(srv.URL + "/suggest?q=" + strings.ReplaceAll(championQuery, " ", "+"))
 		if err != nil {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
-		if arm := resp.Header.Get("X-Serve-Arm"); arm == "shadow" {
-			t.Fatal("shadow arm served live traffic")
+		if arm := resp.Header.Get("X-Serve-Arm"); arm != "champion" {
+			t.Fatalf("served by %q, want champion", arm)
 		}
 		resp.Body.Close()
 	}

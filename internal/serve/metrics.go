@@ -118,6 +118,7 @@ type MetricsResponse struct {
 	BlobFormat      string        `json:"model_blob_format,omitempty"`
 	BlobBytes       int64         `json:"model_blob_bytes,omitempty"`
 	Fleet           *FleetMetrics `json:"fleet,omitempty"`
+	Ingest          any           `json:"ingest,omitempty"`
 	UptimeSeconds   float64       `json:"uptime_seconds"`
 	Runtime         RuntimeStats  `json:"runtime"`
 }

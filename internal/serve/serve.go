@@ -23,6 +23,8 @@
 //	GET  /v1/models                           model registry, roles, families,
 //	                                          rerankers, divergence
 //	GET  /v1/route                            which arm/shard owns a context
+//	GET  /v1/ingest                           streaming ingestion loop status
+//	                                          (tail offset, write-log, ramp)
 //
 // The admin endpoints moved under /v1/ in this release; the legacy
 // unversioned paths answer 301 (GETs) or serve as aliases (POST /reload,
@@ -165,6 +167,12 @@ type Options struct {
 	// by model name. The rec passed to New still answers /healthz provenance
 	// until the champion slot swaps. See internal/fleet.
 	Fleet *fleet.Router
+	// IngestStatus, when set, enables GET /v1/ingest: the returned value is
+	// serialised as the endpoint's JSON payload and embedded in /v1/metrics.
+	// The indirection (a func, not a concrete type) keeps this package from
+	// importing the ingestion loop — internal/stream wires its own status
+	// snapshot in, and its tests can import serve for loopback fleets.
+	IngestStatus func() any
 }
 
 func (o Options) withDefaults() Options {
@@ -243,6 +251,8 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		h.models(w, r)
 	case "/v1/route":
 		h.routeInfo(w, r)
+	case "/v1/ingest":
+		h.ingestStatus(w, r)
 	case "/metrics", "/models", "/route":
 		// Legacy admin GETs answer a 301 to their /v1/ home for one release.
 		redirectV1(w, r)
@@ -522,7 +532,9 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		Generation:    gen,
 	}
 	if h.fleet != nil {
-		resp.Arms = len(h.fleet.Arms())
+		// Arms counts arms currently taking traffic: a challenger mid-ramp
+		// raises it, a freeze drops it back — liveness probes see the split.
+		resp.Arms = h.fleet.LiveArms()
 		resp.ShadowModels = len(h.fleet.ShadowSlots())
 	}
 	if cm := rec.CompiledModel(); cm != nil {
@@ -580,9 +592,35 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		BlobFormat:      li.Format,
 		BlobBytes:       li.BlobBytes,
 		Fleet:           fm,
+		Ingest:          h.ingestSnapshot(),
 		UptimeSeconds:   time.Since(h.start).Seconds(),
 		Runtime:         readRuntimeStats(),
 	})
+}
+
+// ingestSnapshot returns the ingestion loop's status value, or nil when no
+// ingestion loop is wired in.
+func (h *Handler) ingestSnapshot() any {
+	if h.opts.IngestStatus == nil {
+		return nil
+	}
+	return h.opts.IngestStatus()
+}
+
+// ingestStatus serves GET /v1/ingest: the streaming ingestion loop's state —
+// tail offset, write-log position, sessions counted, last recompile, ramp
+// step and freeze reason. 404 when the process runs no ingestion loop.
+func (h *Handler) ingestStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	st := h.ingestSnapshot()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no ingestion loop running in this process")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // reload serves POST /reload. Query parameters: model=<name> selects a fleet

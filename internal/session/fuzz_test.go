@@ -1,0 +1,75 @@
+package session
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/query"
+)
+
+// FuzzSegmenterAdd feeds arbitrary (possibly time-disordered) record streams
+// through a Segmenter with interleaved TakeCompleted/Expire calls and checks
+// the structural invariants a downstream trainer relies on: no panics, no
+// empty sessions, and exact query conservation — every record added comes
+// back in exactly one session, never dropped, never duplicated.
+func FuzzSegmenterAdd(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 128, 64, 32})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dict := query.NewDict()
+		seg := NewSegmenter(dict, 5*time.Minute)
+		clock := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+		added, harvested := 0, 0
+		take := func(batch []query.Seq) {
+			for _, s := range batch {
+				if len(s) == 0 {
+					t.Fatal("empty session emitted")
+				}
+				harvested += len(s)
+			}
+		}
+		for i := 0; i+3 <= len(data); i += 3 {
+			// int8 delta: time can move backwards — the segmenter must not
+			// panic or lose records on disordered input.
+			clock = clock.Add(time.Duration(int8(data[i+2])) * 20 * time.Second)
+			r := logfmt.Record{
+				MachineID: "m" + strconv.Itoa(int(data[i]%8)),
+				Query:     "q" + strconv.Itoa(int(data[i+1]%16)),
+				Time:      clock,
+			}
+			if data[i+1]%4 == 0 {
+				r.Clicks = []logfmt.Click{{URL: "u", Time: clock.Add(time.Minute)}}
+			}
+			seg.Add(r)
+			added++
+			switch {
+			case i%21 == 0:
+				take(seg.TakeCompleted())
+			case i%33 == 0:
+				seg.Expire(clock)
+			}
+		}
+		// Checkpoint round-trip mid-stream state, then drain everything.
+		states := seg.OpenState()
+		for _, st := range states {
+			if len(st.Queries) == 0 {
+				t.Fatal("open session with no queries")
+			}
+		}
+		seg2 := NewSegmenter(query.NewDict(), 5*time.Minute)
+		seg2.RestoreOpen(states)
+		if seg2.OpenCount() != seg.OpenCount() {
+			t.Fatalf("restored OpenCount %d != %d", seg2.OpenCount(), seg.OpenCount())
+		}
+		take(seg.Flush())
+		if harvested != added {
+			t.Fatalf("conservation violated: added %d queries, harvested %d", added, harvested)
+		}
+		if seg.OpenCount() != 0 {
+			t.Fatalf("OpenCount after Flush = %d", seg.OpenCount())
+		}
+	})
+}

@@ -85,6 +85,82 @@ func (s *Segmenter) Flush() []query.Seq {
 	return out
 }
 
+// TakeCompleted drains only the sessions that have been closed by a gap so
+// far, leaving in-flight sessions open. It is the streaming counterpart of
+// Flush: a tailer calls it after each batch of records to harvest finished
+// sessions without cutting sessions that may still receive queries.
+func (s *Segmenter) TakeCompleted() []query.Seq {
+	out := s.done
+	s.done = nil
+	return out
+}
+
+// Expire closes every open session whose last activity is more than Gap
+// before now, moving it to the completed set in deterministic (machine-key
+// sorted) order. now is event time — typically the timestamp of the latest
+// record observed — not wall clock, so replaying a log yields the same
+// session boundaries as tailing it live.
+func (s *Segmenter) Expire(now time.Time) {
+	var keys []string
+	for m, cur := range s.open {
+		if now.Sub(cur.last) > s.Gap {
+			keys = append(keys, m)
+		}
+	}
+	sort.Strings(keys)
+	for _, m := range keys {
+		s.done = append(s.done, s.open[m].queries)
+		delete(s.open, m)
+	}
+}
+
+// OpenSessionState is the exported state of one in-flight session: the
+// machine it belongs to, its last-activity time, and its queries as strings
+// (ID-independent, so the state survives into a process with a different
+// dictionary). Used by the ingestion write-log to checkpoint sessions that
+// span a crash.
+type OpenSessionState struct {
+	Machine string    `json:"machine"`
+	Last    time.Time `json:"last"`
+	Queries []string  `json:"queries"`
+}
+
+// OpenState exports every in-flight session, sorted by machine key.
+func (s *Segmenter) OpenState() []OpenSessionState {
+	keys := make([]string, 0, len(s.open))
+	for m := range s.open {
+		keys = append(keys, m)
+	}
+	sort.Strings(keys)
+	out := make([]OpenSessionState, 0, len(keys))
+	for _, m := range keys {
+		cur := s.open[m]
+		qs := make([]string, len(cur.queries))
+		for i, id := range cur.queries {
+			qs[i] = s.Dict.String(id)
+		}
+		out = append(out, OpenSessionState{Machine: m, Last: cur.last, Queries: qs})
+	}
+	return out
+}
+
+// RestoreOpen reinstates sessions previously exported by OpenState,
+// interning their queries in the given slice order (callers that need
+// dictionary determinism must pass states in the same order they were
+// exported). Existing open sessions for the same machines are replaced.
+func (s *Segmenter) RestoreOpen(states []OpenSessionState) {
+	for _, st := range states {
+		cur := &openSession{last: st.Last, queries: make(query.Seq, len(st.Queries))}
+		for i, q := range st.Queries {
+			cur.queries[i] = s.Dict.Intern(q)
+		}
+		s.open[st.Machine] = cur
+	}
+}
+
+// OpenCount reports the number of in-flight sessions.
+func (s *Segmenter) OpenCount() int { return len(s.open) }
+
 // SegmentReader drains a record stream into segmented sessions.
 func SegmentReader(r *logfmt.Reader, dict *query.Dict, gap time.Duration) ([]query.Seq, error) {
 	seg := NewSegmenter(dict, gap)

@@ -1,0 +1,122 @@
+package session
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/logfmt"
+	"repro/internal/query"
+)
+
+func TestTakeCompletedLeavesOpenSessions(t *testing.T) {
+	base := time.Date(2026, 2, 1, 9, 0, 0, 0, time.UTC)
+	seg := NewSegmenter(query.NewDict(), 10*time.Minute)
+	seg.Add(rec("m1", "a", base))
+	seg.Add(rec("m1", "b", base.Add(time.Minute)))
+	seg.Add(rec("m1", "c", base.Add(30*time.Minute))) // gap > 10m closes {a,b}
+	seg.Add(rec("m2", "x", base))
+
+	got := seg.TakeCompleted()
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("TakeCompleted = %v, want one 2-query session", got)
+	}
+	if seg.OpenCount() != 2 {
+		t.Fatalf("OpenCount = %d, want 2 (m1 and m2 still open)", seg.OpenCount())
+	}
+	if again := seg.TakeCompleted(); len(again) != 0 {
+		t.Fatalf("second TakeCompleted = %v, want empty", again)
+	}
+	// Flush still closes the remainder.
+	rest := seg.Flush()
+	if len(rest) != 2 {
+		t.Fatalf("Flush = %v, want the 2 open sessions", rest)
+	}
+}
+
+func TestExpireClosesIdleSessionsDeterministically(t *testing.T) {
+	base := time.Date(2026, 2, 1, 9, 0, 0, 0, time.UTC)
+	mk := func() *Segmenter {
+		seg := NewSegmenter(query.NewDict(), 10*time.Minute)
+		seg.Add(rec("zz", "z1", base))
+		seg.Add(rec("aa", "a1", base.Add(time.Minute)))
+		seg.Add(rec("mm", "m1", base.Add(20*time.Minute)))
+		return seg
+	}
+
+	seg := mk()
+	seg.Expire(base.Add(21 * time.Minute)) // zz idle 21m, aa idle 20m → both close; mm idle 1m stays
+	done := seg.TakeCompleted()
+	if len(done) != 2 {
+		t.Fatalf("expired %d sessions, want 2", len(done))
+	}
+	if seg.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", seg.OpenCount())
+	}
+
+	// Deterministic order: machine-key sorted, independent of map iteration.
+	for i := 0; i < 5; i++ {
+		other := mk()
+		other.Expire(base.Add(21 * time.Minute))
+		if !reflect.DeepEqual(other.TakeCompleted(), done) {
+			t.Fatal("Expire order differs across runs")
+		}
+	}
+
+	// Expiry is event-time: a now before all activity closes nothing.
+	idle := mk()
+	idle.Expire(base)
+	if got := idle.TakeCompleted(); len(got) != 0 {
+		t.Fatalf("Expire(base) closed %d sessions, want 0", len(got))
+	}
+}
+
+func TestOpenStateRoundTrip(t *testing.T) {
+	base := time.Date(2026, 2, 1, 9, 0, 0, 0, time.UTC)
+	dict := query.NewDict()
+	seg := NewSegmenter(dict, 10*time.Minute)
+	seg.Add(rec("m2", "beta", base))
+	seg.Add(rec("m1", "alpha", base.Add(time.Minute)))
+	seg.Add(rec("m1", "gamma", base.Add(2*time.Minute)))
+	click := rec("m2", "delta", base.Add(3*time.Minute))
+	click.Clicks = []logfmt.Click{{URL: "u", Time: base.Add(5 * time.Minute)}}
+	seg.Add(click)
+
+	states := seg.OpenState()
+	if len(states) != 2 || states[0].Machine != "m1" || states[1].Machine != "m2" {
+		t.Fatalf("OpenState machines = %+v, want sorted m1,m2", states)
+	}
+	if !reflect.DeepEqual(states[0].Queries, []string{"alpha", "gamma"}) {
+		t.Fatalf("m1 queries = %v", states[0].Queries)
+	}
+	// Clicks extend last-activity: m2's Last must be the click time.
+	if !states[1].Last.Equal(base.Add(5 * time.Minute)) {
+		t.Fatalf("m2 Last = %v, want click time", states[1].Last)
+	}
+
+	// Restore into a fresh segmenter with a fresh dict; behavior must match:
+	// a record within Gap of the restored Last continues the session.
+	d2 := query.NewDict()
+	seg2 := NewSegmenter(d2, 10*time.Minute)
+	seg2.RestoreOpen(states)
+	if seg2.OpenCount() != 2 {
+		t.Fatalf("restored OpenCount = %d, want 2", seg2.OpenCount())
+	}
+	seg2.Add(rec("m2", "epsilon", base.Add(9*time.Minute)))
+	seg2.Add(rec("m1", "zeta", base.Add(30*time.Minute))) // > Gap after m1's Last → split
+	done := seg2.TakeCompleted()
+	if len(done) != 1 {
+		t.Fatalf("TakeCompleted after restore = %d sessions, want 1 (m1 split)", len(done))
+	}
+	closedStrings := make([]string, len(done[0]))
+	for i, id := range done[0] {
+		closedStrings[i] = d2.String(id)
+	}
+	if !reflect.DeepEqual(closedStrings, []string{"alpha", "gamma"}) {
+		t.Fatalf("restored m1 session = %v", closedStrings)
+	}
+	final := seg2.Flush()
+	if len(final) != 2 {
+		t.Fatalf("final Flush = %d sessions, want 2", len(final))
+	}
+}
