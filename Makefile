@@ -4,7 +4,7 @@
 GO ?= go
 
 # Serving-path benchmarks tracked across PRs in BENCH_serving.json.
-SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkPredictCPS5|BenchmarkPredictHMM|BenchmarkRerankPairwise|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkShardFanout64R2|BenchmarkPredictBatch64|BenchmarkPredictBatch64Parallel|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkColdStartMmapV5|BenchmarkCompiledBlobSize|BenchmarkCompiledBlobSizeV5|BenchmarkIngestSegment
+SERVING_BENCH = BenchmarkRecommendUncached|BenchmarkRecommendUncachedInterpreted|BenchmarkPredictCompiled|BenchmarkPredictQuantised|BenchmarkPredictCPS5|BenchmarkPredictHMM|BenchmarkRerankPairwise|BenchmarkProbCompiled|BenchmarkPredictMVMM|BenchmarkSuggestUncached|BenchmarkSuggestCached|BenchmarkServeHTTPCached|BenchmarkServeHTTPBatch|BenchmarkRouteAB|BenchmarkShardFanout64|BenchmarkShardFanout64R2|BenchmarkPredictBatch64|BenchmarkPredictBatch64Parallel|BenchmarkPredictSequential64|BenchmarkColdStartHeapV2|BenchmarkColdStartMmapV3|BenchmarkColdStartMmapV4|BenchmarkColdStartMmapV5|BenchmarkCompiledBlobSize|BenchmarkCompiledBlobSizeV5|BenchmarkIngestSegment|BenchmarkServeHTTPCachedTraced|BenchmarkHistogramRecord
 # Override for quick smoke runs: make bench-json BENCHTIME=10x
 BENCHTIME ?= 1s
 # Regression gates applied by cmd/benchjson after recording: the cached HTTP
@@ -21,9 +21,11 @@ BENCHTIME ?= 1s
 # The ingestion loop drains a fixed ~3000-record log per op (~4000 allocs
 # today, ~1.3/record: segmenter growth + WAL frames + count-map inserts);
 # the 6000 ceiling flags a per-record allocation regression, not JSON noise.
-BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkShardFanout64=200 -gate BenchmarkShardFanout64R2:fanout-r2-over-r1=1.5 -gate BenchmarkPredictQuantised=0 -gate BenchmarkPredictCPS5=0 -gate BenchmarkPredictHMM=0 -gate BenchmarkRerankPairwise=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6 -gate BenchmarkCompiledBlobSizeV5:cps5-over-cps4=0.8 -gate BenchmarkIngestSegment=6000
+# The traced serving path and the histogram record primitive are gated at 0:
+# the observability layer must stay free on the hot path.
+BENCH_GATES = -gate BenchmarkServeHTTPCached=2 -gate BenchmarkRouteAB=0 -gate BenchmarkServeHTTPCachedTraced=0 -gate BenchmarkHistogramRecord=0 -gate BenchmarkShardFanout64=200 -gate BenchmarkShardFanout64R2:fanout-r2-over-r1=1.5 -gate BenchmarkPredictQuantised=0 -gate BenchmarkPredictCPS5=0 -gate BenchmarkPredictHMM=0 -gate BenchmarkRerankPairwise=0 -gate BenchmarkCompiledBlobSize:cps4-over-cps3=0.6 -gate BenchmarkCompiledBlobSizeV5:cps5-over-cps4=0.8 -gate BenchmarkIngestSegment=6000
 
-.PHONY: all build test race bench bench-json chaos ingest-test fmt fmt-check vet check-docs check-api ci serve loadgen clean
+.PHONY: all build test race bench bench-json chaos ingest-test obs-test fmt fmt-check vet check-docs check-api ci serve loadgen clean
 
 all: build test
 
@@ -48,6 +50,13 @@ chaos:
 # freshness claims, enforced.
 ingest-test:
 	$(GO) test -race -count=1 -run 'TestLoop|TestCrashReplay|TestIngest|TestWAL' ./internal/stream ./internal/serve
+
+# Observability harness: the histogram/trace/exposition unit tests plus the
+# endpoint tests that hammer /v1/metrics and /v1/traces under concurrent
+# traffic, reload storms and chaos faults — all under the race detector.
+obs-test:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -count=1 -run 'TestObs|TestPrometheus|TestTraces|TestRequestID|TestChaosTrace' ./internal/serve ./internal/fleet
 
 # Benchmark smoke: one iteration of every benchmark, no test re-runs. Run
 # twice — single-core and 4-core — so the parallel batch descent's worker
@@ -79,7 +88,7 @@ vet:
 # Documentation gate: every exported symbol in the serving-critical packages
 # must carry a doc comment (see cmd/doccheck).
 check-docs:
-	$(GO) run ./cmd/doccheck ./internal/compiled ./internal/core ./internal/fleet ./internal/stream
+	$(GO) run ./cmd/doccheck ./internal/compiled ./internal/core ./internal/fleet ./internal/obs ./internal/stream
 
 # API-surface gate: vet plus the apilint rule that recommendation entry
 # points stay on core.Recommender (no new exported Recommend* outside
@@ -87,7 +96,7 @@ check-docs:
 check-api: vet
 	$(GO) run ./cmd/apilint .
 
-ci: check-api fmt-check check-docs build race chaos ingest-test bench
+ci: check-api fmt-check check-docs build race chaos ingest-test obs-test bench
 
 # Convenience: train a small model if absent, then serve it.
 model.bin:

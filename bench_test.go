@@ -31,6 +31,7 @@ import (
 	"repro/internal/loggen"
 	"repro/internal/markov"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pairwise"
 	"repro/internal/query"
 	"repro/internal/serve"
@@ -706,6 +707,16 @@ func BenchmarkServeHTTPCached(b *testing.B) {
 	rec, ctxs := serveBenchSetup(b)
 	h := serve.NewHandler(rec, 5)
 	target := "/suggest?q=" + url.QueryEscape(ctxs[0][0])
+	// Warm past the tracer's 256-trace retention ring: while it fills,
+	// every request's finish pins its pooled trace and the pool allocates a
+	// replacement, which would dominate allocs/op under CI's short
+	// -benchtime. At steady state retention is a pointer swap.
+	warmReq := httptest.NewRequest(http.MethodGet, target, nil)
+	warmRR := &benchRecorder{header: make(http.Header, 4)}
+	for i := 0; i < 300; i++ {
+		warmRR.reset()
+		h.ServeHTTP(warmRR, warmReq)
+	}
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		req := httptest.NewRequest(http.MethodGet, target, nil)
@@ -749,15 +760,16 @@ func BenchmarkRouteAB(b *testing.B) {
 		targets = append(targets, "/suggest?q="+url.QueryEscape(ctxs[i][0]))
 	}
 	// Requests are built once and shared (the handler never mutates them),
-	// and every target is served twice up front, so the timed region starts
-	// at steady state — warm cache, warm pools — even under CI's short
-	// -benchtime. The gate asserts the hot path, not first-touch fills.
+	// and every target is served enough times up front to fill the cache,
+	// the pools and the tracer's 256-trace retention ring, so the timed
+	// region starts at steady state even under CI's short -benchtime. The
+	// gate asserts the hot path, not first-touch fills.
 	reqs := make([]*http.Request, len(targets))
 	for i, target := range targets {
 		reqs[i] = httptest.NewRequest(http.MethodGet, target, nil)
 	}
 	warmRR := &benchRecorder{header: make(http.Header, 4)}
-	for rep := 0; rep < 2; rep++ {
+	for rep := 0; rep < 300/len(reqs)+2; rep++ {
 		for _, req := range reqs {
 			warmRR.reset()
 			h.ServeHTTP(warmRR, req)
@@ -1264,4 +1276,57 @@ func BenchmarkIngestSegment(b *testing.B) {
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkServeHTTPCachedTraced measures the instrumented serving hot path:
+// the full handler stack of BenchmarkServeHTTPCached with the request trace,
+// per-route and per-stage histograms and the X-Trace-Id/X-Request-Id
+// response headers all active. Serial with a warmed cache and a pre-filled
+// trace retention ring, so CI can gate allocs/op at exactly 0 — the
+// observability layer must be free on the hot path.
+func BenchmarkServeHTTPCachedTraced(b *testing.B) {
+	rec, ctxs := serveBenchSetup(b)
+	h := serve.NewHandler(rec, 5)
+	targets := make([]string, 0, 16)
+	for i := 0; i < 16 && i < len(ctxs); i++ {
+		targets = append(targets, "/suggest?q="+url.QueryEscape(ctxs[i][0]))
+	}
+	reqs := make([]*http.Request, len(targets))
+	for i, target := range targets {
+		reqs[i] = httptest.NewRequest(http.MethodGet, target, nil)
+	}
+	// Warm past the tracer's retention ring (256): while the ring is
+	// filling, every finish pins its pooled trace and the pool allocates a
+	// replacement. At steady state retention is a pointer swap.
+	rr := &benchRecorder{header: make(http.Header, 4)}
+	for rep := 0; rep < 300/len(reqs)+2; rep++ {
+		for _, req := range reqs {
+			rr.reset()
+			h.ServeHTTP(rr, req)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr.reset()
+		h.ServeHTTP(rr, reqs[i%len(reqs)])
+		if rr.code != http.StatusOK {
+			b.Fatalf("status %d", rr.code)
+		}
+	}
+	if rr.Header().Get("X-Trace-Id") == "" {
+		b.Fatal("tracing not active on the benched path")
+	}
+}
+
+// BenchmarkHistogramRecord measures one lock-free histogram record — the
+// primitive every request-path instrument rides on. CI gates allocs/op at 0.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h obs.Histogram
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i & 0xffff))
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", h.Count(), b.N)
+	}
 }

@@ -25,16 +25,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -42,20 +47,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ingest: ")
 	var (
-		logPath   = flag.String("log", "queries.log", "growing source query log to tail (logfmt records)")
-		walPath   = flag.String("wal", "ingest.wal", "durable write-log path (created if absent, replayed if present)")
-		modelOut  = flag.String("model-out", "challenger.bin", "recompiled snapshot output path (atomic replace)")
-		baseFrom  = flag.String("base-from", "", "model file whose dictionary seeds the trainer, keeping every snapshot reload-compatible with it (empty = fresh vocabulary)")
-		pushURL   = flag.String("push", "", "serving fleet base URL to push snapshots at (empty = recompile only)")
-		pushModel = flag.String("push-model", "challenger", "fleet arm name reloaded on push (POST /v1/reload?model=<name>)")
-		gap       = flag.Duration("gap", 30*time.Minute, "session gap: queries of one machine further apart start a new session")
-		segment   = flag.Int("segment-records", 256, "records folded into one write-log segment entry")
-		recompile = flag.Uint64("recompile", 5000, "completed sessions between background recompiles")
-		threshold = flag.Int("threshold", 2, "drop session patterns seen fewer times at recompile (-1 = keep all)")
-		poll      = flag.Duration("poll", 200*time.Millisecond, "tail poll interval when caught up with the log writer")
-		once      = flag.Bool("once", false, "drain the log, recompile once and exit (batch catch-up mode)")
+		logPath     = flag.String("log", "queries.log", "growing source query log to tail (logfmt records)")
+		walPath     = flag.String("wal", "ingest.wal", "durable write-log path (created if absent, replayed if present)")
+		modelOut    = flag.String("model-out", "challenger.bin", "recompiled snapshot output path (atomic replace)")
+		baseFrom    = flag.String("base-from", "", "model file whose dictionary seeds the trainer, keeping every snapshot reload-compatible with it (empty = fresh vocabulary)")
+		pushURL     = flag.String("push", "", "serving fleet base URL to push snapshots at (empty = recompile only)")
+		pushModel   = flag.String("push-model", "challenger", "fleet arm name reloaded on push (POST /v1/reload?model=<name>)")
+		gap         = flag.Duration("gap", 30*time.Minute, "session gap: queries of one machine further apart start a new session")
+		segment     = flag.Int("segment-records", 256, "records folded into one write-log segment entry")
+		recompile   = flag.Uint64("recompile", 5000, "completed sessions between background recompiles")
+		threshold   = flag.Int("threshold", 2, "drop session patterns seen fewer times at recompile (-1 = keep all)")
+		poll        = flag.Duration("poll", 200*time.Millisecond, "tail poll interval when caught up with the log writer")
+		once        = flag.Bool("once", false, "drain the log, recompile once and exit (batch catch-up mode)")
+		metricsAddr = flag.String("metrics-addr", "", "optional listen address serving /v1/metrics (Prometheus text) and /v1/traces for the standalone loop (empty = no listener)")
 	)
 	flag.Parse()
+
+	oreg := obs.NewRegistry()
+	// Tail-sample against the segment-fold histogram: a retained ingest trace
+	// is one whose whole step ran slower than recent p99 folds (or errored).
+	tracer := obs.NewTracer(128, oreg.Histogram("ingest_segment_us"))
 
 	cfg := stream.Config{
 		LogPath:           *logPath,
@@ -64,6 +75,8 @@ func main() {
 		Train:             core.Config{ReductionThreshold: *threshold, SessionGap: *gap},
 		SegmentRecords:    *segment,
 		RecompileSessions: *recompile,
+		Obs:               oreg,
+		Tracer:            tracer,
 	}
 	if *baseFrom != "" {
 		base, err := core.LoadAnyPath(*baseFrom, core.LoadOptions{})
@@ -100,6 +113,15 @@ func main() {
 	if st.Replayed > 0 || st.TornTailBytes > 0 {
 		log.Printf("write-log replayed: %d segment entries (%d sessions, vocab %d), %d torn bytes discarded, resuming at log offset %d",
 			st.Replayed, st.Sessions, st.Vocab, st.TornTailBytes, st.LogOffset)
+	}
+
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obsHandler(oreg, tracer, ing)); err != nil {
+				log.Printf("metrics listener %s: %v", *metricsAddr, err)
+			}
+		}()
+		log.Printf("metrics: /v1/metrics and /v1/traces on %s", *metricsAddr)
 	}
 
 	if *once {
@@ -139,4 +161,43 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("bye")
+}
+
+// obsHandler serves the standalone loop's observability surface: Prometheus
+// text on /metrics and /v1/metrics, retained ingest traces on /v1/traces
+// (same query parameters as the serving endpoints: min_us, error, limit)
+// and the loop Status on /v1/ingest.
+func obsHandler(reg *obs.Registry, tracer *obs.Tracer, ing *stream.Ingester) http.Handler {
+	mux := http.NewServeMux()
+	writeProm := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	}
+	mux.HandleFunc("/metrics", writeProm)
+	mux.HandleFunc("/v1/metrics", writeProm)
+	mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ing.Status())
+	})
+	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		minMicros, _ := strconv.ParseInt(q.Get("min_us"), 10, 64)
+		onlyErrors := q.Get("error") == "1" || strings.EqualFold(q.Get("error"), "true")
+		limit := 0
+		if n, err := strconv.Atoi(q.Get("limit")); err == nil {
+			limit = n
+		}
+		views := tracer.Snapshot(minMicros, onlyErrors, limit)
+		resp := struct {
+			SlowThresholdMicros int64           `json:"slow_threshold_us,omitempty"`
+			Count               int             `json:"count"`
+			Traces              []obs.TraceView `json:"traces"`
+		}{Count: len(views), Traces: views}
+		if th := tracer.SlowThresholdMicros(); th < math.MaxInt64 {
+			resp.SlowThresholdMicros = th
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	return mux
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -361,11 +362,23 @@ func doBatch(client *http.Client, addr string, contexts [][]string, rng *rand.Ra
 	return time.Since(start), first, nil
 }
 
+// pct returns the q-quantile of sorted by the ceiling-rank rule: the
+// smallest element with at least ceil(q*n) samples at or below it. The old
+// int(q*(n-1)) indexing truncated toward zero and under-reported tail
+// quantiles (p99 of 2 samples read the fast one); ceiling-rank never
+// under-reports and matches the server's histogram quantiles.
 func pct(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	return sorted[int(q*float64(len(sorted)-1))].Round(time.Microsecond)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
 }
 
 // fetchHealth snapshots the server's /healthz, or nil when unreachable.
@@ -450,9 +463,21 @@ func printServerMetrics(client *http.Client, addr string, before *serve.MetricsR
 		return
 	}
 	fmt.Printf("server:      cache hit rate %.1f%% (%d hits / %d misses, %d evictions), "+
-		"server-side p50 %dus p99 %dus, generation %d, compiled nodes %d\n",
+		"server-side p50 %dus p99 %dus p999 %dus max %dus, generation %d, compiled nodes %d\n",
 		100*m.CacheHitRate, m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions,
-		m.P50Micros, m.P99Micros, m.ModelGeneration, m.CompiledNodes)
+		m.P50Micros, m.P99Micros, m.P999Micros, m.MaxMicros, m.ModelGeneration, m.CompiledNodes)
+	if len(m.Stages) > 0 {
+		names := make([]string, 0, len(m.Stages))
+		for name := range m.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := m.Stages[name]
+			fmt.Printf("  stage %-12s %8d reqs, p50 %dus p99 %dus p999 %dus max %dus\n",
+				name, s.Count, s.P50Micros, s.P99Micros, s.P999Micros, s.MaxMicros)
+		}
+	}
 	if before == nil {
 		return
 	}

@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -64,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/pairwise"
 	"repro/internal/serve"
 	"repro/internal/stream"
@@ -124,6 +126,7 @@ func main() {
 		willNeed  = flag.Bool("map-willneed", false, "madvise(WILLNEED) the mmapped compiled blob: asynchronous readahead instead of first-touch page faults")
 		mlock     = flag.Bool("mlock", false, "mlock(2) the mmapped compiled blob: pin trie pages against eviction (needs RLIMIT_MEMLOCK)")
 		batchW    = flag.Int("batch-workers", 0, "goroutines per batch descent (0 = GOMAXPROCS, 1 = sequential; answers are identical)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving address (keep off on exposed listeners)")
 	)
 	var ingest ingestOpts
 	flag.StringVar(&ingest.logPath, "ingest-log", "", "embed the streaming ingestion loop: tail this query log, retrain and push into the -ingest-arm slot (fleet mode only; see cmd/ingest for the standalone loop)")
@@ -168,6 +171,21 @@ func main() {
 		onHUP = func() { log.Print("SIGHUP ignored: POST /reload to the router (broadcast to all shards)") }
 	default:
 		log.Fatalf("unknown -role %q (want serve, shard or router)", *role)
+	}
+
+	if *pprofOn {
+		// Explicit registrations (not the net/http/pprof DefaultServeMux side
+		// effect) so only the profiling endpoints are added; everything else
+		// still routes to the role handler.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Print("pprof: /debug/pprof/ mounted")
 	}
 
 	srv := &http.Server{
@@ -243,7 +261,13 @@ func (p *serveProcess) reloadAll() {
 // buildServeHandler assembles the serve/shard role: single-model serving, or
 // a fleet registry + router when -arms is given.
 func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet bool, ingest ingestOpts) *serveProcess {
-	opts := serve.Options{DefaultN: topN, CacheCapacity: cacheCap}
+	// One registry + tracer for the whole process: the HTTP handler, the
+	// embedded ingest loop and the auto-ramp all record into the same
+	// Prometheus exposition and the same tail-sampled trace ring. The tracer
+	// tail-samples against the handler's overall request-latency histogram.
+	oreg := obs.NewRegistry()
+	tracer := obs.NewTracer(512, oreg.Histogram("serve_http_request_us"))
+	opts := serve.Options{DefaultN: topN, CacheCapacity: cacheCap, Obs: oreg, Tracer: tracer}
 	if !quiet {
 		opts.Logger = log.Default()
 	}
@@ -309,7 +333,7 @@ func buildServeHandler(modelPath, arms, rerank string, topN, cacheCap int, quiet
 		log.Printf("fleet arm %q: second-stage rerank %s", championArm, rk.Name())
 	}
 	if ingest.logPath != "" {
-		opts.IngestStatus = startIngestLoop(rt, champion, ingest)
+		opts.IngestStatus = startIngestLoop(rt, champion, ingest, oreg, tracer)
 	}
 	opts.Fleet = rt
 	return &serveProcess{Handler: serve.New(champion, opts), fleetRouter: rt}
@@ -331,8 +355,10 @@ type ingestOpts struct {
 // query log behind the write-log, recompile, and push snapshots into the
 // challenger slot in-process (the same swap-and-refresh path POST /v1/reload
 // takes, minus the HTTP hop). With -ramp it also runs the auto-ramp
-// scheduler. Returns the /v1/ingest status hook.
-func startIngestLoop(rt *fleet.Router, champion core.Recommender, io ingestOpts) func() any {
+// scheduler. Ingest steps and ramp transitions record into the shared
+// registry and tracer, next to the request traffic. Returns the /v1/ingest
+// status hook.
+func startIngestLoop(rt *fleet.Router, champion core.Recommender, io ingestOpts, reg *obs.Registry, tracer *obs.Tracer) func() any {
 	slot := rt.Registry().Slot(io.arm)
 	if slot == nil {
 		log.Fatalf("-ingest-arm %q is not a registered fleet arm (declare it in -arms, weight 0)", io.arm)
@@ -351,6 +377,8 @@ func startIngestLoop(rt *fleet.Router, champion core.Recommender, io ingestOpts)
 		BaseVocab:         champion.Dict().Strings(),
 		Train:             core.Config{ReductionThreshold: io.threshold, SessionGap: io.gap},
 		RecompileSessions: io.recompile,
+		Obs:               reg,
+		Tracer:            tracer,
 		Push: func(modelPath string) error {
 			gen, err := slot.Reload(false)
 			if err != nil {
@@ -399,6 +427,7 @@ func startIngestLoop(rt *fleet.Router, champion core.Recommender, io ingestOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		ramp.SetObservability(reg, tracer)
 		ramp.Start(io.rampEvery)
 		log.Printf("ramp: arm %q walks %v (hold %s, %d shadow samples to start, promote=%v)",
 			io.arm, steps, io.rampHold, io.rampMinSamples, io.rampPromote)

@@ -66,22 +66,38 @@ func (sc *SuggestCache) Recommend(gen uint64, rec core.Recommender, context []st
 	if len(buf.ctx) == 0 {
 		return nil
 	}
-	return sc.recommendKeyed(0, gen, rec, buf, buf.ctx, n)
+	out, _ := sc.recommendKeyed(0, gen, rec, buf, buf.ctx, n)
+	return out
 }
 
 // RecommendInterned is Recommend for an already-interned context — the HTTP
 // fast path, which interns once per request and reuses the IDs for both the
 // cache key and the prediction.
 func (sc *SuggestCache) RecommendInterned(gen uint64, rec core.Recommender, ctx query.Seq, n int) []core.Suggestion {
-	return sc.RecommendSlot(0, gen, rec, ctx, n)
+	out, _ := sc.RecommendSlotHit(0, gen, rec, ctx, n)
+	return out
+}
+
+// RecommendInternedHit is RecommendInterned plus a hit flag, so the serving
+// layer can attribute the request's latency to the cache-lookup stage (hit)
+// or the predict-descent stage (miss) without a second key probe.
+func (sc *SuggestCache) RecommendInternedHit(gen uint64, rec core.Recommender, ctx query.Seq, n int) ([]core.Suggestion, bool) {
+	return sc.RecommendSlotHit(0, gen, rec, ctx, n)
 }
 
 // RecommendSlot is RecommendInterned inside a named registry slot: the slot
 // ID joins the cache key, so a fleet of models shares one LRU without any
 // cross-model key collisions. (gen is the slot's own generation counter.)
 func (sc *SuggestCache) RecommendSlot(slot uint32, gen uint64, rec core.Recommender, ctx query.Seq, n int) []core.Suggestion {
+	out, _ := sc.RecommendSlotHit(slot, gen, rec, ctx, n)
+	return out
+}
+
+// RecommendSlotHit is RecommendSlot plus a hit flag (see
+// RecommendInternedHit).
+func (sc *SuggestCache) RecommendSlotHit(slot uint32, gen uint64, rec core.Recommender, ctx query.Seq, n int) ([]core.Suggestion, bool) {
 	if len(ctx) == 0 {
-		return nil
+		return nil, false
 	}
 	buf := sc.bufs.Get().(*suggestBuf)
 	defer sc.putBuf(buf)
@@ -94,16 +110,17 @@ func (sc *SuggestCache) putBuf(buf *suggestBuf) {
 	sc.bufs.Put(buf)
 }
 
-// recommendKeyed runs the keyed lookup-or-compute. The key string is only
-// allocated on a miss, where it is retained by the LRU.
-func (sc *SuggestCache) recommendKeyed(slot uint32, gen uint64, rec core.Recommender, buf *suggestBuf, ctx query.Seq, n int) []core.Suggestion {
+// recommendKeyed runs the keyed lookup-or-compute, reporting whether the
+// answer came from the cache. The key string is only allocated on a miss,
+// where it is retained by the LRU.
+func (sc *SuggestCache) recommendKeyed(slot uint32, gen uint64, rec core.Recommender, buf *suggestBuf, ctx query.Seq, n int) ([]core.Suggestion, bool) {
 	buf.key = appendSuggestKey(buf.key[:0], slot, gen, ctx, n)
 	if v, ok := sc.lru.GetBytes(buf.key); ok {
-		return v
+		return v, true
 	}
 	out := core.RecommendIDs(rec, ctx, n)
 	sc.lru.Put(string(buf.key), out)
-	return out
+	return out, false
 }
 
 // RecommendBatch answers every (contexts[i], ns[i]) pair into out[i] (which

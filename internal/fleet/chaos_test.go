@@ -7,12 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -644,5 +646,160 @@ func TestChaosStrandedProbeRelease(t *testing.T) {
 		}
 		getBody(t, srv.URL+"/suggest?"+query)
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// routerTraces fetches and decodes the router's GET /v1/traces endpoint.
+func routerTraces(t *testing.T, base string) map[string]obs.TraceView {
+	t.Helper()
+	raw, _, code := getBody(t, base+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces status %d: %s", code, raw)
+	}
+	var resp struct {
+		SlowThresholdMicros int64           `json:"slow_threshold_us"`
+		Count               int             `json:"count"`
+		Traces              []obs.TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]obs.TraceView, len(resp.Traces))
+	for _, v := range resp.Traces {
+		byID[v.ID] = v
+	}
+	return byID
+}
+
+// spanUnionMicros returns the total length of the union of the span
+// intervals [start, start+dur). Hedged attempts overlap, so a naive sum can
+// exceed the trace total; the union cannot.
+func spanUnionMicros(spans []obs.SpanView) int64 {
+	type iv struct{ lo, hi int64 }
+	ivs := make([]iv, 0, len(spans))
+	for _, s := range spans {
+		ivs = append(ivs, iv{s.StartMicros, s.StartMicros + s.DurMicros})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var total, hi int64
+	hi = -1
+	for _, v := range ivs {
+		if v.lo > hi {
+			total += v.hi - v.lo
+			hi = v.hi
+		} else if v.hi > hi {
+			total += v.hi - hi
+			hi = v.hi
+		}
+	}
+	return total
+}
+
+// TestChaosTraceHedgedFailover drives one hedged GET (slow primary, hedge
+// wins) and one failed-over GET (dead primary, second replica answers) and
+// asserts the router's /v1/traces shows both requests with per-attempt
+// "shard" child spans carrying the shard IDs and outcomes, plus the
+// hedge-fire annotation — and that the spans stay inside the recorded
+// total (as an interval union: hedged attempts overlap in time).
+func TestChaosTraceHedgedFailover(t *testing.T) {
+	router, chaos := newChaosRing(t, 3, fleet.RouterOptions{
+		Replicas:   2,
+		HedgeAfter: 2 * time.Millisecond,
+	})
+	srv := httptest.NewServer(router)
+	defer srv.Close()
+
+	raw, _, _ := getBody(t, srv.URL+"/v1/route?q=o2")
+	var ri fleet.RouteResponse
+	if err := json.Unmarshal(raw, &ri); err != nil {
+		t.Fatal(err)
+	}
+	primary, backup := ri.Shard, ri.Replicas[1]
+
+	// Hedged: the primary is slow, the 2ms hedge to the backup wins, the
+	// primary attempt is cancelled on the way out.
+	chaos.setDelay(primary, 250*time.Millisecond)
+	body, hdr, code := getBody(t, srv.URL+"/suggest?q=o2")
+	if code != http.StatusOK {
+		t.Fatalf("hedged GET status %d: %s", code, body)
+	}
+	hedgeID := hdr.Get("X-Trace-Id")
+	chaos.setDelay(primary, 0)
+
+	// Failed-over: the primary refuses outright, the walk retries the backup.
+	chaos.setDown(primary, true)
+	body, hdr, code = getBody(t, srv.URL+"/suggest?q=o2")
+	if code != http.StatusOK {
+		t.Fatalf("failed-over GET status %d: %s", code, body)
+	}
+	failoverID := hdr.Get("X-Trace-Id")
+	chaos.setDown(primary, false)
+
+	if len(hedgeID) != 16 || len(failoverID) != 16 {
+		t.Fatalf("trace IDs = %q, %q; want 16 hex chars each", hedgeID, failoverID)
+	}
+	traces := routerTraces(t, srv.URL)
+
+	// outcomesOf collects shard-span outcomes keyed by shard ID.
+	outcomesOf := func(v obs.TraceView) map[int][]string {
+		out := make(map[int][]string)
+		for _, s := range v.Spans {
+			if s.Name == "shard" {
+				out[s.Shard] = append(out[s.Shard], s.Outcome)
+			}
+		}
+		return out
+	}
+	hasOutcome := func(m map[int][]string, shard int, want string) bool {
+		for _, o := range m[shard] {
+			if o == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	hv, ok := traces[hedgeID]
+	if !ok {
+		t.Fatalf("hedged trace %s not retained (have %d traces)", hedgeID, len(traces))
+	}
+	ho := outcomesOf(hv)
+	if len(ho) < 2 {
+		t.Fatalf("hedged trace has shard spans for %d shards, want 2: %+v", len(ho), hv.Spans)
+	}
+	if !hasOutcome(ho, primary, "cancelled") {
+		t.Fatalf("hedged trace: primary %d not cancelled: %+v", primary, hv.Spans)
+	}
+	if !hasOutcome(ho, backup, "hedge-won") {
+		t.Fatalf("hedged trace: backup %d did not win the hedge: %+v", backup, hv.Spans)
+	}
+	sawFire := false
+	for _, s := range hv.Spans {
+		if s.Name == "hedge-fire" && s.Shard == backup && s.Outcome == "fired" {
+			sawFire = true
+		}
+	}
+	if !sawFire {
+		t.Fatalf("hedged trace missing hedge-fire event: %+v", hv.Spans)
+	}
+	// Attempts overlap, so check the interval union, not the sum. Allow the
+	// microsecond truncation of independent clock reads.
+	if got := spanUnionMicros(hv.Spans); got > hv.TotalMicros+5 {
+		t.Fatalf("hedged trace span union %dus exceeds total %dus", got, hv.TotalMicros)
+	}
+
+	fv, ok := traces[failoverID]
+	if !ok {
+		t.Fatalf("failed-over trace %s not retained (have %d traces)", failoverID, len(traces))
+	}
+	fo := outcomesOf(fv)
+	if !hasOutcome(fo, primary, "error") {
+		t.Fatalf("failed-over trace: primary %d did not error: %+v", primary, fv.Spans)
+	}
+	if !hasOutcome(fo, backup, "ok") {
+		t.Fatalf("failed-over trace: backup %d did not answer: %+v", backup, fv.Spans)
+	}
+	if got := spanUnionMicros(fv.Spans); got > fv.TotalMicros+5 {
+		t.Fatalf("failed-over trace span union %dus exceeds total %dus", got, fv.TotalMicros)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RampPolicy configures the automatic challenger weight schedule. The ramp
@@ -97,8 +99,49 @@ type Ramp struct {
 	stepSince  time.Time
 	promotions uint64
 
+	// Observability (optional, via SetObservability): transition counters
+	// and a tracer into which each transition is force-retained, so ramp
+	// decisions — rare and always interesting — are inspectable on
+	// /v1/traces next to the request traces.
+	tracer      *obs.Tracer
+	cSteps      *obs.Counter
+	cFreezes    *obs.Counter
+	cPromotions *obs.Counter
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
+}
+
+// SetObservability wires the ramp's transition counters into reg
+// (ramp_steps_total, ramp_freezes_total, ramp_promotions_total) and retains
+// one forced trace per transition in tracer. Either argument may be nil.
+// Call before Start; the fields are not synchronised against a running
+// ticker.
+func (r *Ramp) SetObservability(reg *obs.Registry, tracer *obs.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg != nil {
+		r.cSteps = reg.Counter("ramp_steps_total")
+		r.cFreezes = reg.Counter("ramp_freezes_total")
+		r.cPromotions = reg.Counter("ramp_promotions_total")
+	}
+	r.tracer = tracer
+}
+
+// noteTransition records one ramp state transition: a bump on c (when
+// wired) and a forced single-event trace attributing the transition to the
+// schedule step index. Callers hold r.mu.
+func (r *Ramp) noteTransition(c *obs.Counter, outcome string, step int) {
+	if c != nil {
+		c.Inc()
+	}
+	if r.tracer == nil {
+		return
+	}
+	tr := r.tracer.Start()
+	tr.Event("ramp", step, outcome)
+	tr.Force()
+	r.tracer.Finish(tr, false)
 }
 
 // NewRamp builds a ramp for the named challenger arm (any declared arm except
@@ -159,6 +202,7 @@ func (r *Ramp) Tick(now time.Time) RampStatus {
 		r.stepSince = now
 		_ = r.rt.SetWeight(r.arm, 0)
 		r.rt.ResetShadow(r.arm)
+		r.noteTransition(nil, "start", -1)
 		return r.statusLocked()
 	}
 	if !r.armed || r.frozen {
@@ -170,8 +214,10 @@ func (r *Ramp) Tick(now time.Time) RampStatus {
 		if why := r.pol.breach(stats); why != "" {
 			r.frozen = true
 			r.reason = why
+			frozeAt := r.step
 			r.step = -1
 			_ = r.rt.SetWeight(r.arm, 0)
+			r.noteTransition(r.cFreezes, "freeze", frozeAt)
 			return r.statusLocked()
 		}
 	}
@@ -182,23 +228,29 @@ func (r *Ramp) Tick(now time.Time) RampStatus {
 			r.step = 0
 			r.stepSince = now
 			_ = r.rt.SetWeight(r.arm, r.pol.Steps[0])
+			r.noteTransition(r.cSteps, "advance", 0)
 		}
 	case now.Sub(r.stepSince) >= r.pol.Hold:
 		if r.step+1 < len(r.pol.Steps) {
 			r.step++
 			r.stepSince = now
 			_ = r.rt.SetWeight(r.arm, r.pol.Steps[r.step])
+			r.noteTransition(r.cSteps, "advance", r.step)
 		} else if r.pol.Promote {
 			if err := r.rt.Promote(r.arm); err != nil {
 				r.frozen = true
 				r.reason = "promote failed: " + err.Error()
+				frozeAt := r.step
 				r.step = -1
 				_ = r.rt.SetWeight(r.arm, 0)
+				r.noteTransition(r.cFreezes, "freeze", frozeAt)
 			} else {
 				r.promotions++
 				r.armed = false
+				finalStep := r.step
 				r.step = -1
 				r.stepSince = now
+				r.noteTransition(r.cPromotions, "promote", finalStep)
 			}
 		}
 	}

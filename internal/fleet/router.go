@@ -3,11 +3,11 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -39,7 +39,10 @@ type Arm struct {
 	rerank Reranker
 
 	requests atomic.Uint64
-	lat      armLatencyRing
+	// lat is the arm's full-history latency histogram: lock-free recording,
+	// bounded-error p50/p99/p999, and mergeable across arms (the fleet-wide
+	// distribution is the bucket-wise sum — see Router.MergeLatency).
+	lat obs.Histogram
 }
 
 // Slot returns the registry slot this arm serves from.
@@ -51,42 +54,6 @@ func (a *Arm) Weight() uint32 { return a.weight.Load() }
 // HeaderValue returns the shared pre-built header slice carrying the arm's
 // name, for allocation-free `w.Header()["X-Serve-Arm"] = ...` assignment.
 func (a *Arm) HeaderValue() []string { return a.header }
-
-// armRingSize bounds each arm's latency sample window; smaller than the
-// handler-wide ring because arms multiply it.
-const armRingSize = 1024
-
-// armLatencyRing is a fixed-size ring of recent per-arm request latencies in
-// microseconds (the per-arm slice of the serving layer's latency ring).
-type armLatencyRing struct {
-	mu  sync.Mutex
-	buf [armRingSize]int64
-	n   uint64
-}
-
-func (r *armLatencyRing) record(us int64) {
-	r.mu.Lock()
-	r.buf[r.n%armRingSize] = us
-	r.n++
-	r.mu.Unlock()
-}
-
-// quantiles returns the (p50, p99) of the currently held samples.
-func (r *armLatencyRing) quantiles() (p50, p99 int64) {
-	r.mu.Lock()
-	n := r.n
-	if n > armRingSize {
-		n = armRingSize
-	}
-	out := make([]int64, n)
-	copy(out, r.buf[:n])
-	r.mu.Unlock()
-	if len(out) == 0 {
-		return 0, 0
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out[int(0.50*float64(len(out)-1))], out[int(0.99*float64(len(out)-1))]
-}
 
 // routeTable is the immutable weight snapshot Route reads: cumulative bounds
 // over the arms that currently carry positive weight. Rebuilt by SetWeight
@@ -349,7 +316,27 @@ func (rt *Router) Arm(i int) *Arm { return rt.arms[i] }
 func (rt *Router) RecordServe(i int, tookMicros int64) {
 	a := rt.arms[i]
 	a.requests.Add(1)
-	a.lat.record(tookMicros)
+	a.lat.Record(tookMicros)
+}
+
+// MergeLatency merges every arm's latency histogram into dst — the
+// fleet-wide serving latency distribution, computed by bucket-wise addition
+// (the mergeable-histogram property; no sample window is lost).
+func (rt *Router) MergeLatency(dst *obs.Histogram) {
+	for _, a := range rt.arms {
+		dst.Merge(&a.lat)
+	}
+}
+
+// RegisterObs exposes the router's per-arm instruments through reg: each
+// arm's latency histogram and request counter appear in the Prometheus
+// exposition under fleet_arm_<name>_*.
+func (rt *Router) RegisterObs(reg *obs.Registry) {
+	for _, a := range rt.arms {
+		a := a
+		reg.RegisterHistogram("fleet_arm_"+a.header[0]+"_latency_us", &a.lat)
+		reg.CounterFunc("fleet_arm_"+a.header[0]+"_requests_total", a.requests.Load)
+	}
 }
 
 // Shadow hands the served request to the shadow scorer, if any: every
@@ -381,14 +368,18 @@ func (rt *Router) Close() {
 	}
 }
 
-// ArmStats is one live arm's /metrics and /models slice.
+// ArmStats is one live arm's /metrics and /models slice. Latency quantiles
+// come from the arm's full-history histogram (upper-bounded estimates, at
+// most 1/32 relative error, never under-reported).
 type ArmStats struct {
-	Name      string  `json:"name"`
-	Weight    uint32  `json:"weight"`
-	Share     float64 `json:"share"` // weight / total weight
-	Requests  uint64  `json:"requests"`
-	P50Micros int64   `json:"latency_p50_us"`
-	P99Micros int64   `json:"latency_p99_us"`
+	Name       string  `json:"name"`
+	Weight     uint32  `json:"weight"`
+	Share      float64 `json:"share"` // weight / total weight
+	Requests   uint64  `json:"requests"`
+	P50Micros  int64   `json:"latency_p50_us"`
+	P99Micros  int64   `json:"latency_p99_us"`
+	P999Micros int64   `json:"latency_p999_us"`
+	MaxMicros  int64   `json:"latency_max_us"`
 }
 
 // ArmStats snapshots the per-arm serving counters in arm order. Share is
@@ -398,15 +389,16 @@ func (rt *Router) ArmStats() []ArmStats {
 	total := rt.table.Load().total
 	out := make([]ArmStats, len(rt.arms))
 	for i, a := range rt.arms {
-		p50, p99 := a.lat.quantiles()
 		w := a.weight.Load()
 		out[i] = ArmStats{
-			Name:      a.header[0],
-			Weight:    w,
-			Share:     float64(w) / float64(total),
-			Requests:  a.requests.Load(),
-			P50Micros: p50,
-			P99Micros: p99,
+			Name:       a.header[0],
+			Weight:     w,
+			Share:      float64(w) / float64(total),
+			Requests:   a.requests.Load(),
+			P50Micros:  a.lat.Quantile(0.50),
+			P99Micros:  a.lat.Quantile(0.99),
+			P999Micros: a.lat.Quantile(0.999),
+			MaxMicros:  a.lat.Max(),
 		}
 	}
 	return out

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/jsonspan"
+	"repro/internal/obs"
 )
 
 // Transport carries a routed request to a shard replica. Implementations
@@ -101,7 +103,15 @@ func (t *LoopbackTransport) Exchange(ctx context.Context, shard int, method, pat
 	s.resp.code = 0
 	s.resp.body = respBuf
 	clear(s.resp.header)
+	// Propagate the router's trace ID so the shard's own trace adopts it and
+	// a request can be followed across layers. The scratch header is pooled:
+	// the value must be removed again before the scratch is recycled, or a
+	// later un-traced exchange would replay a stale ID.
+	if hv := obs.TraceHeaderFromContext(ctx); hv != nil {
+		s.req.Header["X-Trace-Id"] = hv
+	}
 	t.handlers[shard].ServeHTTP(&s.resp, &s.req)
+	delete(s.req.Header, "X-Trace-Id")
 	status, out := s.resp.status(), s.resp.body
 	s.resp.body = nil // caller owns the buffer now
 	t.scratch.Put(s)
@@ -217,6 +227,9 @@ func (t *HTTPTransport) Exchange(ctx context.Context, shard int, method, path st
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if hv := obs.TraceHeaderFromContext(ctx); hv != nil {
+		req.Header["X-Trace-Id"] = hv
+	}
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return 0, respBuf, err
@@ -279,6 +292,15 @@ type RouterOptions struct {
 	// ProbeAfter is the ejection cool-down before a half-open probe
 	// (0 selects DefaultProbeAfter).
 	ProbeAfter time.Duration
+	// Obs, when non-nil, is the metrics registry the router records into;
+	// nil gives the router a private registry. Sharing one registry with
+	// in-process shard handlers (loopback deployments) merges both layers
+	// into a single Prometheus exposition.
+	Obs *obs.Registry
+	// Tracer, when non-nil, is the request tracer the router samples into;
+	// nil gives the router a private 256-trace tracer fed by its own
+	// request-latency histogram.
+	Tracer *obs.Tracer
 }
 
 func (o RouterOptions) withDefaults(shards int) RouterOptions {
@@ -334,15 +356,26 @@ type ShardRouter struct {
 	calls   sync.Pool // *shardCall
 	bufs    sync.Pool // *[]byte, GET-path response buffers
 
-	requests    atomic.Uint64
-	batches     atomic.Uint64
-	fanouts     atomic.Uint64 // shard sub-requests issued by batch fan-out
-	retries     atomic.Uint64 // failed attempts that moved work to another replica
-	failovers   atomic.Uint64 // requests/items answered by a non-primary replica
-	hedges      atomic.Uint64 // hedge attempts fired
-	hedgesWon   atomic.Uint64 // hedge attempts whose answer was served
-	perShard    []atomic.Uint64
-	attemptLat  armLatencyRing // successful attempt latencies, feeds auto hedge delay
+	requests  atomic.Uint64
+	batches   atomic.Uint64
+	fanouts   atomic.Uint64 // shard sub-requests issued by batch fan-out
+	retries   atomic.Uint64 // failed attempts that moved work to another replica
+	failovers atomic.Uint64 // requests/items answered by a non-primary replica
+	hedges    atomic.Uint64 // hedge attempts fired
+	hedgesWon atomic.Uint64 // hedge attempts whose answer was served
+	perShard  []atomic.Uint64
+
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	attemptLat *obs.Histogram // successful attempt latencies, feeds auto hedge delay
+	hedgeWait  *obs.Histogram // delays waited before firing a hedge
+	reqLat     *obs.Histogram // end-to-end routed request latencies
+	// hedgeCache is the cached auto hedge delay in nanoseconds, refreshed
+	// from attemptLat's p99 every hedgeRefreshEvery hedgeTick increments so
+	// the GET hot path never scans histogram buckets.
+	hedgeCache atomic.Int64
+	hedgeTick  atomic.Uint64
+
 	maxBatch    int
 	maxBodySize int64
 }
@@ -379,8 +412,33 @@ func NewShardRouterOpts(ring *Ring, tr Transport, opts RouterOptions) (*ShardRou
 	for k := range s.attemptHeader {
 		s.attemptHeader[k] = []string{strconv.Itoa(k + 1)}
 	}
+	s.reg = opts.Obs
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.attemptLat = s.reg.Histogram("router_attempt_us")
+	s.hedgeWait = s.reg.Histogram("router_hedge_wait_us")
+	s.reqLat = s.reg.Histogram("router_request_us")
+	s.tracer = opts.Tracer
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(256, s.reqLat)
+	}
+	s.reg.CounterFunc("router_requests_total", s.requests.Load)
+	s.reg.CounterFunc("router_batch_requests_total", s.batches.Load)
+	s.reg.CounterFunc("router_batch_fanouts_total", s.fanouts.Load)
+	s.reg.CounterFunc("router_retries_total", s.retries.Load)
+	s.reg.CounterFunc("router_failovers_total", s.failovers.Load)
+	s.reg.CounterFunc("router_hedges_total", s.hedges.Load)
+	s.reg.CounterFunc("router_hedges_won_total", s.hedgesWon.Load)
 	return s, nil
 }
+
+// Obs returns the router's metrics registry (rendered by
+// /v1/metrics?format=prometheus).
+func (s *ShardRouter) Obs() *obs.Registry { return s.reg }
+
+// Tracer returns the router's request tracer (rendered by /v1/traces).
+func (s *ShardRouter) Tracer() *obs.Tracer { return s.tracer }
 
 // Ring returns the router's consistent-hash ring.
 func (s *ShardRouter) Ring() *Ring { return s.ring }
@@ -406,14 +464,28 @@ func (s *ShardRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/healthz":
 		s.healthz(w)
 	case "/v1/metrics":
+		if wantsPrometheusFormat(r) {
+			s.prometheus(w)
+			return
+		}
 		s.metrics(w)
+	case "/v1/traces":
+		s.traces(w, r)
 	case "/v1/route":
 		s.route(w, r)
 	case "/v1/reload":
 		s.reload(w, r)
 	case "/v1/fleet":
 		s.fleetState(w, r)
-	case "/metrics", "/route", "/fleet":
+	case "/metrics":
+		// Prometheus scrapers conventionally hit bare /metrics and do not
+		// follow redirects: serve the exposition directly in that case.
+		if wantsPrometheusFormat(r) {
+			s.prometheus(w)
+			return
+		}
+		redirectV1(w, r)
+	case "/route", "/fleet":
 		redirectV1(w, r)
 	case "/reload":
 		// POST cannot follow a 301 without changing semantics: alias it.
@@ -519,16 +591,24 @@ func (s *ShardRouter) backoffSleep(k int) {
 	time.Sleep(d)
 }
 
+// hedgeRefreshEvery is how many auto-mode hedgeDelay resolutions share one
+// cached p99 scan of the attempt-latency histogram.
+const hedgeRefreshEvery = 64
+
 // hedgeDelay resolves the live hedging delay: the configured fixed value, or
 // the attempt-latency p99 clamped to [200µs, 50ms] in auto mode (negative
-// HedgeAfter). 0 means hedging is off.
+// HedgeAfter). The auto value is cached and refreshed every
+// hedgeRefreshEvery resolutions, so the hot path reads one atomic instead
+// of scanning histogram buckets per request. 0 means hedging is off.
 func (s *ShardRouter) hedgeDelay() time.Duration {
 	ha := s.opts.HedgeAfter
 	if ha >= 0 {
 		return ha
 	}
-	_, p99 := s.attemptLat.quantiles()
-	d := time.Duration(p99) * time.Microsecond
+	if cached := s.hedgeCache.Load(); cached != 0 && s.hedgeTick.Add(1)%hedgeRefreshEvery != 0 {
+		return time.Duration(cached)
+	}
+	d := time.Duration(s.attemptLat.Quantile(0.99)) * time.Microsecond
 	const lo, hi = 200 * time.Microsecond, 50 * time.Millisecond
 	if d < lo {
 		d = lo
@@ -536,6 +616,7 @@ func (s *ShardRouter) hedgeDelay() time.Duration {
 	if d > hi {
 		d = hi
 	}
+	s.hedgeCache.Store(int64(d))
 	return d
 }
 
@@ -550,6 +631,7 @@ func retryable(status int, err error) bool {
 // getAttempt is one in-flight GET attempt's result.
 type getAttempt struct {
 	pref   int // index into the preference list
+	li     int // launch index: keys the attempt's cancel func and trace span
 	shard  int
 	status int
 	body   []byte
@@ -561,14 +643,30 @@ type getAttempt struct {
 // on failure. The shard key is the FNV-1a hash of the percent-decoded q
 // values (decoded streaming, no buffer), so it agrees with the batch path's
 // hash of the same context strings. Responses carry X-Serve-Shard (the
-// replica that answered), X-Serve-Attempts, and X-Serve-Hedge: won when a
-// hedged attempt's answer was served.
+// replica that answered), X-Serve-Attempts, X-Serve-Hedge (won when a
+// hedged attempt's answer was served) and X-Trace-Id.
+//
+// Every attempt is a child span on the request trace: opened in launch (on
+// the request goroutine — Trace is single-goroutine by contract), closed
+// when its result is consumed, and closed as "cancelled" at finish for
+// attempts whose results were abandoned to the drain goroutine. Breaker
+// skips and hedge firings appear as point events, so a retained trace
+// reconstructs the whole failover story: which replicas were tried, in what
+// order, and why.
 func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErrorJSON(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
 	s.requests.Add(1)
+	tr := s.tracer.Start()
+	if id := r.Header.Get("X-Trace-Id"); id != "" {
+		tr.SetID(id)
+	}
+	w.Header()["X-Trace-Id"] = tr.HeaderValue()
+	// The propagated header value is cloned: hedge losers may still sit in a
+	// transport after this trace is finished and its pooled storage reused.
+	ctx := obs.ContextWithTraceHeader(r.Context(), []string{strings.Clone(tr.ID())})
 	var prefArr [MaxReplicas]int
 	prefs := s.ring.LookupN(hashRawQueryContext(r.URL.RawQuery), s.opts.Replicas, prefArr[:0])
 	s.perShard[prefs[0]].Add(1)
@@ -576,19 +674,29 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 	uri := r.URL.RequestURI()
 	resCh := make(chan getAttempt, len(prefs)+1)
 	var cancels [MaxReplicas + 1]context.CancelFunc
-	var tried [MaxReplicas]bool
+	var spanIdx [MaxReplicas + 1]int
+	var spanOpen [MaxReplicas + 1]bool
+	var tried, skipNoted [MaxReplicas]bool
 	launched, inflight := 0, 0
 
 	// pick chooses the next untried preference, healthy shards first and
 	// failing open to ejected ones when nothing healthy remains (an answer
 	// from a sick replica beats a guaranteed 502). Returns -1 when the whole
-	// list has been tried.
+	// list has been tried. A shard passed over because its breaker is open
+	// is annotated once on the trace.
 	pick := func() int {
 		now := time.Now()
 		for i, sh := range prefs {
-			if !tried[i] && s.health[sh].available(s.hcfg, now) {
+			if tried[i] {
+				continue
+			}
+			if s.health[sh].available(s.hcfg, now) {
 				tried[i] = true
 				return i
+			}
+			if !skipNoted[i] {
+				skipNoted[i] = true
+				tr.Event("breaker-skip", sh, "skipped")
 			}
 		}
 		for i := range prefs {
@@ -600,8 +708,12 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 		return -1
 	}
 	launch := func(pref int, hedge bool) {
-		actx, cancel := s.attemptContext(r.Context())
-		cancels[launched] = cancel
+		actx, cancel := s.attemptContext(ctx)
+		li := launched
+		cancels[li] = cancel
+		spanIdx[li] = tr.Begin("shard")
+		spanOpen[li] = true
+		tr.SetShard(spanIdx[li], prefs[pref])
 		launched++
 		inflight++
 		shard := prefs[pref]
@@ -609,14 +721,23 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
 			status, body, err := s.tr.Exchange(actx, shard, http.MethodGet, uri, nil, s.getBuf())
 			if !retryable(status, err) {
-				s.attemptLat.record(time.Since(start).Microseconds())
+				s.attemptLat.Record(time.Since(start).Microseconds())
 			}
-			resCh <- getAttempt{pref: pref, shard: shard, status: status, body: body, err: err, hedge: hedge}
+			resCh <- getAttempt{pref: pref, li: li, shard: shard, status: status, body: body, err: err, hedge: hedge}
 		}()
+	}
+	// closeSpan closes the attempt span for a consumed result; finish closes
+	// the rest as cancelled. Both run on the request goroutine.
+	closeSpan := func(li int, outcome string) {
+		if spanOpen[li] {
+			spanOpen[li] = false
+			tr.End(spanIdx[li], outcome)
+		}
 	}
 	finish := func() {
 		for i := 0; i < launched; i++ {
 			cancels[i]()
+			closeSpan(i, "cancelled")
 		}
 		if inflight > 0 {
 			// Drain attempts still landing (hedge losers). A loser that
@@ -624,7 +745,8 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 			// cancelled or failed loser may be carrying the shard's
 			// half-open probe claim, which must be handed back — otherwise
 			// the breaker strands in "probing" and the shard never sees
-			// traffic again.
+			// traffic again. The drain goroutine never touches the trace:
+			// its spans were already closed above, on the request goroutine.
 			n := inflight
 			go func() {
 				for i := 0; i < n; i++ {
@@ -656,6 +778,8 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 			case <-t.C:
 				if next := pick(); next >= 0 {
 					s.hedges.Add(1)
+					s.hedgeWait.Record(hedge.Microseconds())
+					tr.Event("hedge-fire", prefs[next], "fired")
 					launch(next, true)
 				} else {
 					hedge = 0
@@ -667,6 +791,11 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 		}
 		inflight--
 		if !retryable(res.status, res.err) {
+			if res.hedge {
+				closeSpan(res.li, "hedge-won")
+			} else {
+				closeSpan(res.li, "ok")
+			}
 			s.health[res.shard].recordSuccess()
 			if res.pref > 0 {
 				s.failovers.Add(1)
@@ -684,7 +813,14 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(res.status)
 			w.Write(res.body)
 			s.putBuf(res.body)
+			s.reqLat.Record(time.Since(tr.Start()).Microseconds())
+			s.tracer.Finish(tr, false)
 			return
+		}
+		if res.err != nil {
+			closeSpan(res.li, "error")
+		} else {
+			closeSpan(res.li, "upstream-5xx")
 		}
 		s.health[res.shard].recordFailure(s.hcfg, time.Now())
 		lastErr = res
@@ -705,6 +841,8 @@ func (s *ShardRouter) suggest(w http.ResponseWriter, r *http.Request) {
 		msg += fmt.Sprintf("status %d", lastErr.status)
 	}
 	writeErrorJSON(w, http.StatusBadGateway, "bad_gateway", msg)
+	s.reqLat.Record(time.Since(tr.Start()).Microseconds())
+	s.tracer.Finish(tr, true)
 }
 
 // hedgeWonHeaderValue is the shared X-Serve-Hedge slice.
@@ -736,14 +874,18 @@ type batchScratch struct {
 // shardCall is one pooled sub-batch exchange: the items it carries, the
 // sub-body sent to a shard, the shard's raw response, and the response's
 // parsed result spans. The response buffer stays alive until the merge
-// completes — results are scattered zero-copy.
+// completes — results are scattered zero-copy. start/durMicros time the
+// exchange; they are written by the call goroutine and read after wg.Wait
+// on the request goroutine, which records the trace span retroactively.
 type shardCall struct {
-	shard int
-	items []int // item indices, request order
-	sub   []byte
-	resp  []byte
-	spans [][2]int
-	err   error
+	shard     int
+	items     []int // item indices, request order
+	sub       []byte
+	resp      []byte
+	spans     [][2]int
+	err       error
+	start     time.Time
+	durMicros int64
 }
 
 func (s *ShardRouter) getScratch() *batchScratch {
@@ -824,6 +966,19 @@ func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := s.getScratch()
 	defer s.putScratch(sc)
+	tr := s.tracer.Start()
+	if id := r.Header.Get("X-Trace-Id"); id != "" {
+		tr.SetID(id)
+	}
+	w.Header()["X-Trace-Id"] = tr.HeaderValue()
+	ctx := obs.ContextWithTraceHeader(r.Context(), []string{strings.Clone(tr.ID())})
+	// Assume the worst until a success path flips it; the deferred finish
+	// then tail-samples error traces without per-return bookkeeping.
+	errored := true
+	defer func() {
+		s.reqLat.Record(time.Since(tr.Start()).Microseconds())
+		s.tracer.Finish(tr, errored)
+	}()
 	var err error
 	if sc.body, err = appendReadAll(sc.body, http.MaxBytesReader(w, r.Body, s.maxBodySize)); err != nil {
 		writeErrorJSON(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
@@ -884,7 +1039,7 @@ func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 		if round > 0 {
 			s.backoffSleep(round)
 		}
-		failMsg = s.fanoutRound(r.Context(), w, sc, R, stream, &streamMu, flusher)
+		failMsg = s.fanoutRound(ctx, w, sc, tr, R, stream, &streamMu, flusher)
 	}
 	for _, i := range sc.pending {
 		sc.failed = append(sc.failed, i)
@@ -900,6 +1055,8 @@ func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 			streamMu.Unlock()
+		} else {
+			errored = false
 		}
 		s.batches.Add(1)
 		return
@@ -913,6 +1070,7 @@ func (s *ShardRouter) batch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.batches.Add(1)
+	errored = false
 
 	sc.out = append(sc.out, `{"results":[`...)
 	for i, res := range sc.results {
@@ -953,9 +1111,11 @@ func (s *ShardRouter) failoversOf(sc *batchScratch, R int) int {
 // next untried preference (healthy shards first, failing open when none
 // are), the groups fan out concurrently, successful calls scatter results
 // (or stream their lines), and failed calls push their items into the next
-// round's pending list. Returns the last failed call's message, for the
-// final error report.
-func (s *ShardRouter) fanoutRound(ctx context.Context, w http.ResponseWriter, sc *batchScratch, R int, stream bool, streamMu *sync.Mutex, flusher http.Flusher) string {
+// round's pending list. Each completed call is recorded retroactively as a
+// "shard-batch" span on tr (after wg.Wait, on the request goroutine — the
+// call goroutines only stamp timings into their own shardCall). Returns the
+// last failed call's message, for the final error report.
+func (s *ShardRouter) fanoutRound(ctx context.Context, w http.ResponseWriter, sc *batchScratch, tr *obs.Trace, R int, stream bool, streamMu *sync.Mutex, flusher http.Flusher) string {
 	// Evaluate availability once per shard per round; remember half-open
 	// probe claims so unclaimed ones (no traffic grouped onto them) can be
 	// released instead of stranding the breaker.
@@ -1034,7 +1194,9 @@ func (s *ShardRouter) fanoutRound(ctx context.Context, w http.ResponseWriter, sc
 		sc.wg.Add(1)
 		go func(call *shardCall) {
 			defer sc.wg.Done()
+			call.start = time.Now()
 			call.err = s.exchangeSubBatch(ctx, call)
+			call.durMicros = time.Since(call.start).Microseconds()
 			if call.err == nil {
 				s.health[call.shard].recordSuccess()
 				if stream {
@@ -1065,12 +1227,15 @@ func (s *ShardRouter) fanoutRound(ctx context.Context, w http.ResponseWriter, sc
 		}
 	}
 	for _, call := range sc.calls[callsBefore:] {
+		off := call.start.Sub(tr.Start()).Microseconds()
 		if call.err != nil {
+			tr.Record("shard-batch", off, call.durMicros, call.shard, "error")
 			failMsg = fmt.Sprintf("shard %d: %v", call.shard, call.err)
 			s.retries.Add(uint64(len(call.items)))
 			sc.next = append(sc.next, call.items...)
 			continue
 		}
+		tr.Record("shard-batch", off, call.durMicros, call.shard, "ok")
 		if !stream {
 			for j, i := range call.items {
 				sp := call.spans[j]
@@ -1248,19 +1413,30 @@ func (s *ShardRouter) healthz(w http.ResponseWriter) {
 // answered by a non-primary), hedges fired/won, and each shard breaker's
 // state.
 type ShardRouterMetrics struct {
-	Role             string             `json:"role"`
-	Shards           int                `json:"shards"`
-	Replicas         int                `json:"replicas"`
-	Requests         uint64             `json:"requests"`
-	BatchRequests    uint64             `json:"batch_requests"`
-	BatchFanouts     uint64             `json:"batch_fanouts"`
-	Retries          uint64             `json:"retries"`
-	Failovers        uint64             `json:"failovers"`
-	Hedges           uint64             `json:"hedges"`
-	HedgesWon        uint64             `json:"hedges_won"`
-	ContextsPerShard []uint64           `json:"contexts_per_shard"`
-	ShardHealth      []ShardHealthStats `json:"shard_health"`
-	AntiEntropy      *AdminStateStats   `json:"anti_entropy,omitempty"`
+	Role          string `json:"role"`
+	Shards        int    `json:"shards"`
+	Replicas      int    `json:"replicas"`
+	Requests      uint64 `json:"requests"`
+	BatchRequests uint64 `json:"batch_requests"`
+	BatchFanouts  uint64 `json:"batch_fanouts"`
+	Retries       uint64 `json:"retries"`
+	Failovers     uint64 `json:"failovers"`
+	Hedges        uint64 `json:"hedges"`
+	HedgesWon     uint64 `json:"hedges_won"`
+	// Request* summarise end-to-end routed request latency (GET and batch);
+	// Attempt* summarise successful individual shard attempts, the
+	// distribution that drives the auto hedge delay.
+	RequestP50Micros  int64              `json:"request_p50_us"`
+	RequestP99Micros  int64              `json:"request_p99_us"`
+	RequestP999Micros int64              `json:"request_p999_us"`
+	RequestMaxMicros  int64              `json:"request_max_us"`
+	AttemptP50Micros  int64              `json:"attempt_p50_us"`
+	AttemptP99Micros  int64              `json:"attempt_p99_us"`
+	AttemptP999Micros int64              `json:"attempt_p999_us"`
+	AttemptMaxMicros  int64              `json:"attempt_max_us"`
+	ContextsPerShard  []uint64           `json:"contexts_per_shard"`
+	ShardHealth       []ShardHealthStats `json:"shard_health"`
+	AntiEntropy       *AdminStateStats   `json:"anti_entropy,omitempty"`
 }
 
 func (s *ShardRouter) metrics(w http.ResponseWriter) {
@@ -1275,6 +1451,18 @@ func (s *ShardRouter) metrics(w http.ResponseWriter) {
 		Failovers:     s.failovers.Load(),
 		Hedges:        s.hedges.Load(),
 		HedgesWon:     s.hedgesWon.Load(),
+	}
+	if s.reqLat.Count() > 0 {
+		m.RequestP50Micros = s.reqLat.Quantile(0.50)
+		m.RequestP99Micros = s.reqLat.Quantile(0.99)
+		m.RequestP999Micros = s.reqLat.Quantile(0.999)
+		m.RequestMaxMicros = s.reqLat.Max()
+	}
+	if s.attemptLat.Count() > 0 {
+		m.AttemptP50Micros = s.attemptLat.Quantile(0.50)
+		m.AttemptP99Micros = s.attemptLat.Quantile(0.99)
+		m.AttemptP999Micros = s.attemptLat.Quantile(0.999)
+		m.AttemptMaxMicros = s.attemptLat.Max()
 	}
 	for i := range s.perShard {
 		m.ContextsPerShard = append(m.ContextsPerShard, s.perShard[i].Load())
@@ -1310,6 +1498,60 @@ func (s *ShardRouter) route(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// wantsPrometheusFormat reports whether the request asked for the
+// Prometheus text exposition via ?format=prometheus.
+func wantsPrometheusFormat(r *http.Request) bool {
+	return strings.Contains(r.URL.RawQuery, "format=prometheus")
+}
+
+// routerPromContentType is the Prometheus text exposition content type,
+// shared for allocation-free header assignment.
+var routerPromContentType = []string{"text/plain; version=0.0.4; charset=utf-8"}
+
+// prometheus renders the router's registry in the Prometheus text format.
+func (s *ShardRouter) prometheus(w http.ResponseWriter) {
+	w.Header()["Content-Type"] = routerPromContentType
+	_ = s.reg.WritePrometheus(w)
+}
+
+// traces serves GET /v1/traces: the router's tail-sampled retained traces,
+// newest first, filterable with ?min_us=N, ?error=1 and ?limit=N. Each
+// trace shows the request's failover story: per-attempt shard spans with
+// outcomes, breaker skips and hedge firings.
+func (s *ShardRouter) traces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorJSON(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	var minMicros int64
+	var onlyErrors bool
+	limit := 0
+	q := r.URL.Query()
+	if v := q.Get("min_us"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			minMicros = n
+		}
+	}
+	if v := q.Get("error"); v == "1" || v == "true" {
+		onlyErrors = true
+	}
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			limit = n
+		}
+	}
+	views := s.tracer.Snapshot(minMicros, onlyErrors, limit)
+	resp := struct {
+		SlowThresholdMicros int64           `json:"slow_threshold_us,omitempty"`
+		Count               int             `json:"count"`
+		Traces              []obs.TraceView `json:"traces"`
+	}{Count: len(views), Traces: views}
+	if th := s.tracer.SlowThresholdMicros(); th < math.MaxInt64 {
+		resp.SlowThresholdMicros = th
+	}
+	writeJSON(w, resp)
 }
 
 // hashRawQueryContext hashes the q values of a raw query string: each value

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDsUniqueAndHex(t *testing.T) {
+	tr := NewTracer(16, nil)
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		x := tr.Start()
+		id := string(x.idBuf[:]) // owned copy before recycling
+		if len(id) != traceIDLen {
+			t.Fatalf("id length %d", len(id))
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("non-hex id %q", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q after %d traces", id, i)
+		}
+		seen[id] = true
+		if x.ID() != id || x.HeaderValue()[0] != id {
+			t.Fatalf("ID/HeaderValue disagree with buffer")
+		}
+		tr.Abandon(x)
+	}
+}
+
+func TestTraceSetIDAdoptsInbound(t *testing.T) {
+	tr := NewTracer(16, nil)
+	x := tr.Start()
+	x.SetID("0123456789abcdef")
+	if x.ID() != "0123456789abcdef" {
+		t.Fatalf("SetID not adopted: %q", x.ID())
+	}
+	before := x.ID()
+	x.SetID("short") // wrong length: ignored
+	if x.ID() != before {
+		t.Fatalf("bad-length SetID mutated id")
+	}
+	tr.Abandon(x)
+}
+
+func TestTraceSpansAndSnapshot(t *testing.T) {
+	tr := NewTracer(16, nil)
+	x := tr.Start()
+	i := x.Begin("cache")
+	x.End(i, "miss")
+	j := x.Begin("descent")
+	x.SetShard(j, 3)
+	time.Sleep(2 * time.Millisecond)
+	x.End(j, "ok")
+	x.Event("breaker-skip", 1, "open")
+	tr.Finish(x, false)
+
+	views := tr.Snapshot(0, false, 0)
+	if len(views) != 1 {
+		t.Fatalf("snapshot size %d", len(views))
+	}
+	v := views[0]
+	if len(v.Spans) != 3 {
+		t.Fatalf("spans %d", len(v.Spans))
+	}
+	if v.Spans[0].Name != "cache" || v.Spans[0].Outcome != "miss" {
+		t.Fatalf("span 0: %+v", v.Spans[0])
+	}
+	d := v.Spans[1]
+	if d.Name != "descent" || d.Shard != 3 || d.Outcome != "ok" || d.DurMicros < 1500 {
+		t.Fatalf("span 1: %+v", d)
+	}
+	if e := v.Spans[2]; e.Name != "breaker-skip" || e.Shard != 1 || e.DurMicros != 0 {
+		t.Fatalf("event span: %+v", e)
+	}
+	if v.TotalMicros < d.StartMicros+d.DurMicros {
+		t.Fatalf("total %d below span end %d", v.TotalMicros, d.StartMicros+d.DurMicros)
+	}
+	// Span end offsets can never exceed the finished total.
+	for _, sp := range v.Spans {
+		if sp.StartMicros+sp.DurMicros > v.TotalMicros {
+			t.Fatalf("span %q overruns total: %+v vs %d", sp.Name, sp, v.TotalMicros)
+		}
+	}
+}
+
+func TestTraceSpanOverflowCounted(t *testing.T) {
+	tr := NewTracer(16, nil)
+	x := tr.Start()
+	for k := 0; k < MaxSpans+5; k++ {
+		i := x.Begin("s")
+		x.End(i, "ok")
+	}
+	if x.Dropped != 5 {
+		t.Fatalf("dropped = %d, want 5", x.Dropped)
+	}
+	tr.Finish(x, false)
+	if v := tr.Snapshot(0, false, 0); len(v) != 1 || v[0].Dropped != 5 || len(v[0].Spans) != MaxSpans {
+		t.Fatalf("overflow view: %+v", v)
+	}
+}
+
+func TestTailSamplingRetainsErroredAndSlow(t *testing.T) {
+	slow := &Histogram{}
+	tr := NewTracer(16, slow)
+	// Fill the ring (everything retained while not full), then establish a
+	// low p99 threshold and verify fast-clean traces are dropped while
+	// errored ones are retained.
+	for i := 0; i < 16; i++ {
+		tr.Finish(tr.Start(), false)
+	}
+	for i := 0; i < 300; i++ {
+		slow.Record(10)
+	}
+	// Drive threshold refresh past the 256-finish boundary.
+	for i := 0; i < 300; i++ {
+		tr.Finish(tr.Start(), false)
+	}
+	if th := tr.SlowThresholdMicros(); th <= 0 || th > 1000 {
+		t.Fatalf("threshold = %d, want small positive", th)
+	}
+	errTrace := tr.Start()
+	tr.Finish(errTrace, true)
+	views := tr.Snapshot(0, true, 0)
+	if len(views) != 1 || !views[0].Err {
+		t.Fatalf("errored trace not retained: %+v", views)
+	}
+	forced := tr.Start()
+	forced.Force()
+	id := string(forced.idBuf[:])
+	tr.Finish(forced, false)
+	found := false
+	for _, v := range tr.Snapshot(0, false, 0) {
+		if v.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forced trace not retained")
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tr := NewTracer(16, nil)
+	a := tr.Start()
+	time.Sleep(3 * time.Millisecond)
+	tr.Finish(a, false)
+	b := tr.Start()
+	tr.Finish(b, true)
+	if got := tr.Snapshot(2000, false, 0); len(got) != 1 || got[0].TotalMicros < 2000 {
+		t.Fatalf("min_us filter: %+v", got)
+	}
+	if got := tr.Snapshot(0, true, 0); len(got) != 1 || !got[0].Err {
+		t.Fatalf("error filter: %+v", got)
+	}
+	if got := tr.Snapshot(0, false, 1); len(got) != 1 {
+		t.Fatalf("limit: %+v", got)
+	}
+	// Newest first.
+	if got := tr.Snapshot(0, false, 0); len(got) != 2 || !got[0].Err || got[1].Err {
+		t.Fatalf("ordering: %+v", got)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(16, nil)
+	x := tr.Start()
+	ctx := ContextWithTrace(context.Background(), x)
+	if got := TraceFromContext(ctx); got != x {
+		t.Fatalf("trace not carried")
+	}
+	if got := TraceFromContext(context.Background()); got != nil {
+		t.Fatalf("empty context returned %v", got)
+	}
+	tr.Abandon(x)
+}
+
+func TestTracerConcurrentFinishSnapshot(t *testing.T) {
+	slow := &Histogram{}
+	tr := NewTracer(64, slow)
+	var producers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for i := 0; i < 2000; i++ {
+				x := tr.Start()
+				s := x.Begin("stage")
+				x.End(s, "ok")
+				slow.Record(5)
+				tr.Finish(x, i%17 == 0)
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Snapshot(0, false, 10)
+			}
+		}
+	}()
+	producers.Wait()
+	close(stop)
+	readers.Wait()
+}

@@ -344,9 +344,10 @@ func (h *Handler) suggestBatch(w http.ResponseWriter, r *http.Request) {
 		h.cache.RecommendBatchSlot(0, st.gen, st.rec, bb.ctxs, bb.ns, bb.out)
 	}
 	elapsed := time.Since(batchStart).Microseconds()
+	h.recordStage(traceOf(w), h.histBatchDescent, stageBatch, batchStart, elapsed, "ok")
 	perCtx := elapsed / int64(len(bb.items))
 	for range bb.items {
-		h.m.lat.record(perCtx)
+		h.histServe.Record(perCtx)
 	}
 	h.m.batches.Add(1)
 	h.m.batchContexts.Add(uint64(len(bb.items)))

@@ -27,23 +27,35 @@ import (
 // the user was served).
 func (h *Handler) suggestFleet(w http.ResponseWriter, b *reqScratch, n int) {
 	rt := h.fleet
+	tr := traceOf(w)
 	start := time.Now()
+	h.recordQueue(tr, start)
 	b.ctx = rt.AppendContextBytes(b.ctx[:0], b.raw)
 	armIdx := rt.Route(b.ctx)
 	arm := rt.Arm(armIdx)
 	slot := arm.Slot()
 	st := slot.State()
 	var recs []core.Suggestion
+	hit := false
 	if len(b.ctx) > 0 {
-		recs = h.cache.RecommendSlot(slot.ID(), st.Gen, st.Rec, b.ctx, n)
+		recs, hit = h.cache.RecommendSlotHit(slot.ID(), st.Gen, st.Rec, b.ctx, n)
+	}
+	lookupTook := time.Since(start).Microseconds()
+	if hit {
+		h.recordStage(tr, h.histCache, stageCache, start, lookupTook, "hit")
+	} else {
+		h.recordStage(tr, h.histDescent, stageDescent, start, lookupTook, "miss")
 	}
 	if rk := arm.Reranker(); rk != nil && len(recs) > 1 {
+		rerankStart := time.Now()
 		b.rerank = rk.Rerank(b.ctx, recs, b.rerank[:0])
 		recs = b.rerank
+		h.recordStage(tr, h.histRerank, stageRerank, rerankStart,
+			time.Since(rerankStart).Microseconds(), "ok")
 	}
 	took := time.Since(start).Microseconds()
 	h.m.suggests.Add(1)
-	h.m.lat.record(took)
+	h.histServe.Record(took)
 	rt.RecordServe(armIdx, took)
 	// Shadow-score only champion-served requests: divergence metrics mean
 	// "challenger vs champion", and once a challenger ramps to live weight its

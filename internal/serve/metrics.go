@@ -1,60 +1,38 @@
 package serve
 
 import (
+	"math"
 	"runtime"
-	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
-// ringSize bounds the latency sample window. 4096 recent samples give
-// stable p50/p99 estimates at serving rates without unbounded memory.
-const ringSize = 4096
-
-// latencyRing is a fixed-size ring of recent request latencies in
-// microseconds. Recording is O(1) under a short critical section;
-// quantiles copy and sort on demand (the /metrics path is cold).
-type latencyRing struct {
-	mu  sync.Mutex
-	buf [ringSize]int64
-	n   uint64 // total samples ever recorded
-}
-
-func (r *latencyRing) record(us int64) {
-	r.mu.Lock()
-	r.buf[r.n%ringSize] = us
-	r.n++
-	r.mu.Unlock()
-}
-
-// snapshot returns a sorted copy of the currently held samples.
-func (r *latencyRing) snapshot() []int64 {
-	r.mu.Lock()
-	n := r.n
-	if n > ringSize {
-		n = ringSize
-	}
-	out := make([]int64, n)
-	copy(out, r.buf[:n])
-	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // quantile reads the q-th quantile (0..1) from a sorted sample, 0 when
-// empty.
+// empty. The rank is ceil(q*n) (clamped), matching the histogram layer's
+// convention: the estimator can only err high, never low. The previous
+// int(q*(n-1)) form truncated toward the floor and under-reported high
+// quantiles — for a 100-sample window it read p99 from index 98, reporting
+// the 99th of 100 samples as if it were the worst-case tail.
 func quantile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }
 
-// metrics aggregates the handler's serving counters.
+// metrics aggregates the handler's serving counters. Latency moved out of
+// the old 4096-sample mutex ring into lock-free obs.Histogram instruments
+// on the Handler (full-range, mergeable, p999-capable).
 type metrics struct {
 	requests      atomic.Uint64 // every HTTP request
 	suggests      atomic.Uint64 // GET /suggest requests served
@@ -63,7 +41,6 @@ type metrics struct {
 	errors        atomic.Uint64 // responses with status >= 400
 	panics        atomic.Uint64 // panics recovered by middleware
 	reloads       atomic.Uint64 // successful model swaps
-	lat           latencyRing   // suggest + per-batch-context latencies
 }
 
 // RuntimeStats is the allocation and GC slice of /metrics. Load generators
@@ -94,33 +71,60 @@ func readRuntimeStats() RuntimeStats {
 	}
 }
 
+// StageStats is one per-stage latency row in /v1/metrics: the latency of a
+// single serving stage (queue, cache lookup, predict descent, rerank) read
+// from its dedicated histogram.
+type StageStats struct {
+	Count      uint64 `json:"count"`
+	P50Micros  int64  `json:"p50_us"`
+	P99Micros  int64  `json:"p99_us"`
+	P999Micros int64  `json:"p999_us"`
+	MaxMicros  int64  `json:"max_us"`
+}
+
+// stageStats reads one histogram into a StageStats row.
+func stageStats(h *obs.Histogram) StageStats {
+	return StageStats{
+		Count:      h.Count(),
+		P50Micros:  h.Quantile(0.50),
+		P99Micros:  h.Quantile(0.99),
+		P999Micros: h.Quantile(0.999),
+		MaxMicros:  h.Max(),
+	}
+}
+
 // MetricsResponse is the GET /metrics payload: request counters, cache
-// effectiveness, latency quantiles over the recent sample window, and
+// effectiveness, latency quantiles (suggest + per-batch-context, sourced
+// from the full-history histogram, so the legacy latency_* fields keep their
+// names while gaining p999/max headroom), per-stage latency breakdowns, and
 // process allocation/GC counters.
 type MetricsResponse struct {
-	Requests        uint64        `json:"requests"`
-	SuggestRequests uint64        `json:"suggest_requests"`
-	BatchRequests   uint64        `json:"batch_requests"`
-	BatchContexts   uint64        `json:"batch_contexts"`
-	Errors          uint64        `json:"errors"`
-	Panics          uint64        `json:"panics"`
-	Reloads         uint64        `json:"reloads"`
-	Cache           cache.Stats   `json:"cache"`
-	CacheHitRate    float64       `json:"cache_hit_rate"`
-	LatencySamples  int           `json:"latency_samples"`
-	P50Micros       int64         `json:"latency_p50_us"`
-	P90Micros       int64         `json:"latency_p90_us"`
-	P99Micros       int64         `json:"latency_p99_us"`
-	ModelGeneration uint64        `json:"model_generation"`
-	KnownQueries    int           `json:"known_queries"`
-	CompiledNodes   int           `json:"compiled_nodes"`
-	Quantised       bool          `json:"compiled_quantised"`
-	BlobFormat      string        `json:"model_blob_format,omitempty"`
-	BlobBytes       int64         `json:"model_blob_bytes,omitempty"`
-	Fleet           *FleetMetrics `json:"fleet,omitempty"`
-	Ingest          any           `json:"ingest,omitempty"`
-	UptimeSeconds   float64       `json:"uptime_seconds"`
-	Runtime         RuntimeStats  `json:"runtime"`
+	Requests        uint64                `json:"requests"`
+	SuggestRequests uint64                `json:"suggest_requests"`
+	BatchRequests   uint64                `json:"batch_requests"`
+	BatchContexts   uint64                `json:"batch_contexts"`
+	Errors          uint64                `json:"errors"`
+	Panics          uint64                `json:"panics"`
+	Reloads         uint64                `json:"reloads"`
+	Cache           cache.Stats           `json:"cache"`
+	CacheHitRate    float64               `json:"cache_hit_rate"`
+	LatencySamples  int                   `json:"latency_samples"`
+	P50Micros       int64                 `json:"latency_p50_us"`
+	P90Micros       int64                 `json:"latency_p90_us"`
+	P99Micros       int64                 `json:"latency_p99_us"`
+	P999Micros      int64                 `json:"latency_p999_us"`
+	MaxMicros       int64                 `json:"latency_max_us"`
+	Stages          map[string]StageStats `json:"stages,omitempty"`
+	ModelGeneration uint64                `json:"model_generation"`
+	KnownQueries    int                   `json:"known_queries"`
+	CompiledNodes   int                   `json:"compiled_nodes"`
+	Quantised       bool                  `json:"compiled_quantised"`
+	BlobFormat      string                `json:"model_blob_format,omitempty"`
+	BlobBytes       int64                 `json:"model_blob_bytes,omitempty"`
+	Fleet           *FleetMetrics         `json:"fleet,omitempty"`
+	Ingest          any                   `json:"ingest,omitempty"`
+	UptimeSeconds   float64               `json:"uptime_seconds"`
+	Runtime         RuntimeStats          `json:"runtime"`
 }
 
 // FleetMetrics is the fleet-mode slice of /metrics: per-arm traffic share,

@@ -5,13 +5,16 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // statusWriter captures the response status so the instrumentation
 // middleware can count errors and log outcomes. Writers are pooled and carry
-// the per-request instrumentation state, so a request adds no middleware
-// allocations: the deferred finish is a plain method call (open-coded by the
-// compiler), not a closure.
+// the per-request instrumentation state — including the request's pooled
+// trace and correlation ID — so a request adds no middleware allocations:
+// the deferred finish is a plain method call (open-coded by the compiler),
+// not a closure.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
@@ -21,6 +24,8 @@ type statusWriter struct {
 	method string
 	path   string
 	start  time.Time
+	tr     *obs.Trace
+	rid    string // X-Request-Id: client-supplied, or the trace ID
 }
 
 var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
@@ -50,13 +55,18 @@ func (w *statusWriter) status() int {
 
 // finish runs deferred around every request: it recovers panics (a handler
 // bug answers 500 instead of killing the connection and, under http.Server,
-// the process's goroutine), counts errors, logs, and recycles the writer.
+// the process's goroutine), counts errors, records the per-route latency
+// histograms, hands the trace to the tail-sampling tracer, logs with the
+// request ID, and recycles the writer.
 func (w *statusWriter) finish() {
 	h := w.h
+	errored := false
 	if err := recover(); err != nil {
 		h.m.panics.Add(1)
+		errored = true
 		if h.opts.Logger != nil {
-			h.opts.Logger.Printf("panic serving %s %s: %v\n%s", w.method, w.path, err, debug.Stack())
+			h.opts.Logger.Printf("panic serving %s %s rid=%s trace=%s: %v\n%s",
+				w.method, w.path, w.rid, w.tr.ID(), err, debug.Stack())
 		}
 		if !w.wrote {
 			writeError(w, http.StatusInternalServerError, "internal", "internal server error")
@@ -64,17 +74,38 @@ func (w *statusWriter) finish() {
 	}
 	if w.status() >= 400 {
 		h.m.errors.Add(1)
+		errored = true
+	}
+	took := time.Since(w.start).Microseconds()
+	h.histHTTP.Record(took)
+	switch w.path {
+	case "/suggest":
+		h.histRouteSuggest.Record(took)
+	case "/suggest/batch", "/v1/suggest/batch":
+		h.histRouteBatch.Record(took)
+	default:
+		h.histRouteAdmin.Record(took)
 	}
 	if h.opts.Logger != nil {
-		h.opts.Logger.Printf("%s %s -> %d (%s)", w.method, w.path, w.status(), time.Since(w.start))
+		// Log before Finish: the trace ID string aliases pooled storage that
+		// Finish may recycle.
+		h.opts.Logger.Printf("%s %s -> %d (%s) rid=%s trace=%s",
+			w.method, w.path, w.status(), time.Since(w.start), w.rid, w.tr.ID())
 	}
+	h.tracer.Finish(w.tr, errored)
+	w.tr = nil
+	w.rid = ""
 	w.ResponseWriter = nil
 	w.h = nil
 	statusWriterPool.Put(w)
 }
 
-// instrument wraps next with the serving middleware: request counting, panic
-// recovery, error counting, and optional request logging.
+// instrument wraps next with the serving middleware: request counting, trace
+// start (adopting an inbound X-Trace-Id so shard-side traces share the
+// router's ID), X-Trace-Id/X-Request-Id response headers, panic recovery,
+// error counting, and optional request logging. Header propagation reuses
+// pooled or inbound slices — the middleware allocates nothing at steady
+// state.
 func (h *Handler) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h.m.requests.Add(1)
@@ -82,6 +113,21 @@ func (h *Handler) instrument(next http.Handler) http.Handler {
 		sw.ResponseWriter = w
 		sw.code, sw.wrote = 0, false
 		sw.h, sw.method, sw.path, sw.start = h, r.Method, r.URL.Path, time.Now()
+		tr := h.tracer.Start()
+		if id := r.Header.Get("X-Trace-Id"); id != "" {
+			tr.SetID(id)
+		}
+		sw.tr = tr
+		hdr := w.Header()
+		hdr["X-Trace-Id"] = tr.HeaderValue()
+		if rid := r.Header["X-Request-Id"]; len(rid) > 0 && rid[0] != "" {
+			// Echo the client's correlation ID back, reusing its slice.
+			hdr["X-Request-Id"] = rid
+			sw.rid = rid[0]
+		} else {
+			hdr["X-Request-Id"] = tr.HeaderValue()
+			sw.rid = tr.ID()
+		}
 		defer sw.finish()
 		next.ServeHTTP(sw, r)
 	})

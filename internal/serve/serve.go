@@ -67,6 +67,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -173,6 +174,14 @@ type Options struct {
 	// importing the ingestion loop — internal/stream wires its own status
 	// snapshot in, and its tests can import serve for loopback fleets.
 	IngestStatus func() any
+	// Obs, when set, is the metric registry the handler records into; nil
+	// creates a private one. Sharing a registry lets the process's other
+	// subsystems (ingest loop, ramp) expose their instruments through this
+	// handler's /metrics exposition.
+	Obs *obs.Registry
+	// Tracer, when set, is the request tracer; nil creates a private one
+	// retaining 256 tail-sampled traces.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +218,21 @@ type Handler struct {
 	m        metrics
 	reloadMu sync.Mutex
 	start    time.Time
+
+	// Observability (see obs.go): instrument handles are resolved once at
+	// construction so the hot path never touches the registry map.
+	obs              *obs.Registry
+	tracer           *obs.Tracer
+	histServe        *obs.Histogram // legacy latency window: suggest + per-batch-context
+	histHTTP         *obs.Histogram // every HTTP request, wall-clock
+	histRouteSuggest *obs.Histogram
+	histRouteBatch   *obs.Histogram
+	histRouteAdmin   *obs.Histogram
+	histQueue        *obs.Histogram
+	histCache        *obs.Histogram
+	histDescent      *obs.Histogram
+	histRerank       *obs.Histogram
+	histBatchDescent *obs.Histogram
 }
 
 // New builds a Handler serving rec with the given options. With Options.Fleet
@@ -227,6 +251,7 @@ func New(rec core.Recommender, opts Options) *Handler {
 		h.cache = cache.NewSuggestCache(opts.CacheCapacity)
 	}
 	h.state.Store(&modelState{rec: rec, gen: 1})
+	h.initObs()
 	h.chain = h.instrument(http.HandlerFunc(h.route))
 	return h
 }
@@ -244,7 +269,13 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		// so the legacy path stays a first-class alias, not a redirect.
 		h.health(w, r)
 	case "/v1/metrics":
+		if wantsPrometheus(r) {
+			h.prometheusHandler(w, r)
+			return
+		}
 		h.metricsHandler(w, r)
+	case "/v1/traces":
+		h.tracesHandler(w, r)
 	case "/v1/reload":
 		h.reload(w, r)
 	case "/v1/models":
@@ -253,7 +284,16 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		h.routeInfo(w, r)
 	case "/v1/ingest":
 		h.ingestStatus(w, r)
-	case "/metrics", "/models", "/route":
+	case "/metrics":
+		// The Prometheus exposition serves directly on the legacy path too:
+		// scrape configs are static and should not depend on redirect
+		// following.
+		if wantsPrometheus(r) {
+			h.prometheusHandler(w, r)
+			return
+		}
+		redirectV1(w, r)
+	case "/models", "/route":
 		// Legacy admin GETs answer a 301 to their /v1/ home for one release.
 		redirectV1(w, r)
 	case "/reload":
@@ -262,6 +302,12 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
 	}
+}
+
+// wantsPrometheus reports whether the request selects the Prometheus text
+// exposition (?format=prometheus).
+func wantsPrometheus(r *http.Request) bool {
+	return strings.Contains(r.URL.RawQuery, "format=prometheus")
 }
 
 // redirectV1 301s a legacy unversioned admin path to its /v1/ home.
@@ -497,15 +543,26 @@ func (h *Handler) suggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := h.state.Load()
+	tr := traceOf(w)
 	start := time.Now()
+	h.recordQueue(tr, start)
 	b.ctx = core.AppendContextBytes(st.rec.Dict(), b.ctx[:0], b.raw)
 	var recs []core.Suggestion
+	hit := false
 	if len(b.ctx) > 0 {
-		recs = h.cache.RecommendInterned(st.gen, st.rec, b.ctx, n)
+		recs, hit = h.cache.RecommendInternedHit(st.gen, st.rec, b.ctx, n)
 	}
 	took := time.Since(start).Microseconds()
+	// The timed interval covers interning + lookup (+ descent on a miss);
+	// attribute it to the cache stage on a hit and the descent stage on a
+	// miss — the failed probe's share of a miss is negligible.
+	if hit {
+		h.recordStage(tr, h.histCache, stageCache, start, took, "hit")
+	} else {
+		h.recordStage(tr, h.histDescent, stageDescent, start, took, "miss")
+	}
 	h.m.suggests.Add(1)
-	h.m.lat.record(took)
+	h.histServe.Record(took)
 	b.body = appendSuggestResponseBytes(b.body[:0], b.raw, recs, took)
 	setJSONContentType(w)
 	w.Write(b.body)
@@ -559,7 +616,6 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, gen := h.servingState()
 	cs := h.cache.Stats()
-	sorted := h.m.lat.snapshot()
 	compiledNodes := 0
 	quantised := false
 	if cm := rec.CompiledModel(); cm != nil {
@@ -581,10 +637,13 @@ func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		Reloads:         h.m.reloads.Load(),
 		Cache:           cs,
 		CacheHitRate:    cs.HitRate(),
-		LatencySamples:  len(sorted),
-		P50Micros:       quantile(sorted, 0.50),
-		P90Micros:       quantile(sorted, 0.90),
-		P99Micros:       quantile(sorted, 0.99),
+		LatencySamples:  int(h.histServe.Count()),
+		P50Micros:       h.histServe.Quantile(0.50),
+		P90Micros:       h.histServe.Quantile(0.90),
+		P99Micros:       h.histServe.Quantile(0.99),
+		P999Micros:      h.histServe.Quantile(0.999),
+		MaxMicros:       h.histServe.Max(),
+		Stages:          h.stageBreakdown(),
 		ModelGeneration: gen,
 		KnownQueries:    rec.Dict().Len(),
 		CompiledNodes:   compiledNodes,

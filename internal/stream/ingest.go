@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logfmt"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/session"
 )
@@ -43,6 +44,14 @@ type Config struct {
 	// A push failure is recorded and retried after the next recompile; it
 	// does not stop ingestion.
 	Push func(modelPath string) error
+	// Obs, when set, receives the loop's histograms (ingest_segment_us,
+	// ingest_recompile_us) and progress counters for Prometheus exposition.
+	Obs *obs.Registry
+	// Tracer, when set, retains one forced trace per productive Step —
+	// fold / wal-append / recompile / push child spans — so slow ingest
+	// steps are inspectable the same way slow requests are. Idle steps
+	// (no new records) are abandoned, not retained.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +115,10 @@ type Ingester struct {
 	sessionsSinceCompile uint64
 	baseOffset           int64 // source-log offset already consumed at startup
 
+	tracer        *obs.Tracer    // nil when tracing is off
+	histSegment   *obs.Histogram // productive Step durations
+	histRecompile *obs.Histogram // recompile+commit durations
+
 	mu     sync.Mutex // guards the Status snapshot fields below
 	status Status
 }
@@ -166,6 +179,20 @@ func NewIngester(cfg Config) (*Ingester, error) {
 	ing.src = src
 	ing.rd = logfmt.NewReader(src)
 
+	ing.tracer = cfg.Tracer
+	if cfg.Obs != nil {
+		ing.histSegment = cfg.Obs.Histogram("ingest_segment_us")
+		ing.histRecompile = cfg.Obs.Histogram("ingest_recompile_us")
+		cfg.Obs.CounterFunc("ingest_segments_total", func() uint64 { return ing.Status().Segments })
+		cfg.Obs.CounterFunc("ingest_sessions_total", func() uint64 { return ing.Status().Sessions })
+		cfg.Obs.CounterFunc("ingest_recompiles_total", func() uint64 { return ing.Status().Recompiles })
+		cfg.Obs.CounterFunc("ingest_pushes_total", func() uint64 { return ing.Status().Pushes })
+		cfg.Obs.CounterFunc("ingest_push_errors_total", func() uint64 { return ing.Status().PushErrors })
+		cfg.Obs.GaugeFunc("ingest_vocab", func() float64 { return float64(ing.Status().Vocab) })
+		cfg.Obs.GaugeFunc("ingest_open_sessions", func() float64 { return float64(ing.Status().OpenSessions) })
+		cfg.Obs.GaugeFunc("ingest_log_offset_bytes", func() float64 { return float64(ing.Status().LogOffset) })
+	}
+
 	ing.mu.Lock()
 	ing.status = Status{
 		LogOffset:     st.LogOffset,
@@ -207,6 +234,15 @@ func (ing *Ingester) setError(err error) {
 // retryable "writer mid-append" state, not an error; an oversized line is
 // fatal (corrupt source log).
 func (ing *Ingester) Step() (progressed bool, err error) {
+	// A trace per productive step: the loop is single-threaded, so the trace
+	// is mutated only here, satisfying the Trace goroutine contract. Idle
+	// polls are abandoned — retaining thousands of empty traces would flush
+	// the interesting ones out of the ring.
+	var tr *obs.Trace
+	if ing.tracer != nil {
+		tr = ing.tracer.Start()
+	}
+	stepStart := time.Now()
 	read := 0
 	for read < ing.cfg.SegmentRecords {
 		rec, rerr := ing.rd.Read()
@@ -215,6 +251,10 @@ func (ing *Ingester) Step() (progressed bool, err error) {
 				break // caught up with the writer (possibly mid-line)
 			}
 			ing.setError(rerr)
+			if tr != nil {
+				tr.Force()
+				ing.tracer.Finish(tr, true)
+			}
 			return false, fmt.Errorf("stream: source log: %w", rerr)
 		}
 		ing.seg.Add(rec)
@@ -224,7 +264,13 @@ func (ing *Ingester) Step() (progressed bool, err error) {
 		read++
 	}
 	if read == 0 {
+		if tr != nil {
+			ing.tracer.Abandon(tr)
+		}
 		return false, nil
+	}
+	if tr != nil {
+		tr.Record("read", 0, time.Since(stepStart).Microseconds(), obs.NoShard, "ok")
 	}
 
 	// Event-time expiry: sessions idle past the gap at the latest observed
@@ -241,13 +287,29 @@ func (ing *Ingester) Step() (progressed bool, err error) {
 		Completed: completed,
 		Open:      ing.seg.OpenState(),
 	}
+	walStart := time.Now()
 	if err := ing.wal.AppendSegment(entry); err != nil {
 		ing.seq--
 		ing.setError(err)
+		if tr != nil {
+			tr.Record("wal-append", walStart.Sub(stepStart).Microseconds(),
+				time.Since(walStart).Microseconds(), obs.NoShard, "error")
+			tr.Force()
+			ing.tracer.Finish(tr, true)
+		}
 		return false, err
 	}
+	if tr != nil {
+		tr.Record("wal-append", walStart.Sub(stepStart).Microseconds(),
+			time.Since(walStart).Microseconds(), obs.NoShard, "ok")
+	}
+	foldStart := time.Now()
 	ing.inc.AddStrings(completed)
 	ing.sessionsSinceCompile += uint64(len(completed))
+	if tr != nil {
+		tr.Record("fold", foldStart.Sub(stepStart).Microseconds(),
+			time.Since(foldStart).Microseconds(), obs.NoShard, "ok")
+	}
 
 	ing.mu.Lock()
 	ing.status.LogOffset = entry.LogOffset
@@ -258,10 +320,24 @@ func (ing *Ingester) Step() (progressed bool, err error) {
 	ing.mu.Unlock()
 
 	if ing.sessionsSinceCompile >= ing.cfg.RecompileSessions {
-		if err := ing.recompile(); err != nil {
+		if err := ing.recompile(tr, stepStart); err != nil {
 			ing.setError(err)
+			if ing.histSegment != nil {
+				ing.histSegment.Record(time.Since(stepStart).Microseconds())
+			}
+			if tr != nil {
+				tr.Force()
+				ing.tracer.Finish(tr, true)
+			}
 			return true, err
 		}
+	}
+	if ing.histSegment != nil {
+		ing.histSegment.Record(time.Since(stepStart).Microseconds())
+	}
+	if tr != nil {
+		tr.Force()
+		ing.tracer.Finish(tr, false)
 	}
 	return true, nil
 }
@@ -289,17 +365,32 @@ func (ing *Ingester) takeCompletedStrings() [][]string {
 // record (marking every appended segment committed) and pushes the snapshot
 // at the fleet. Ordering matters for crash safety: model save, then commit
 // append (fsynced), then push — a crash between any two replays into the same
-// state or a benign re-push.
-func (ing *Ingester) recompile() error {
+// state or a benign re-push. tr (nil when tracing is off) receives
+// "recompile" and "push" child spans offset against stepStart, the
+// enclosing Step trace's origin.
+func (ing *Ingester) recompile(tr *obs.Trace, stepStart time.Time) error {
+	compileStart := time.Now()
+	record := func(name string, from time.Time, outcome string) {
+		if tr != nil {
+			tr.Record(name, from.Sub(stepStart).Microseconds(),
+				time.Since(from).Microseconds(), obs.NoShard, outcome)
+		}
+	}
 	if _, err := ing.inc.SnapshotTo(ing.cfg.ModelPath); err != nil {
+		record("recompile", compileStart, "error")
 		return err
 	}
 	commit := CommitEntry{Seq: ing.seq, ModelPath: ing.cfg.ModelPath, Sessions: ing.inc.Sessions()}
 	if err := ing.wal.AppendCommit(commit); err != nil {
+		record("recompile", compileStart, "error")
 		return err
 	}
 	ing.committed = ing.seq
 	ing.sessionsSinceCompile = 0
+	record("recompile", compileStart, "ok")
+	if ing.histRecompile != nil {
+		ing.histRecompile.Record(time.Since(compileStart).Microseconds())
+	}
 
 	ing.mu.Lock()
 	ing.status.CommittedSeq = ing.committed
@@ -308,13 +399,16 @@ func (ing *Ingester) recompile() error {
 	ing.mu.Unlock()
 
 	if ing.cfg.Push != nil {
+		pushStart := time.Now()
 		if err := ing.cfg.Push(ing.cfg.ModelPath); err != nil {
+			record("push", pushStart, "error")
 			ing.mu.Lock()
 			ing.status.PushErrors++
 			ing.status.LastError = "push: " + err.Error()
 			ing.mu.Unlock()
 			return nil // push failures are retried after the next recompile
 		}
+		record("push", pushStart, "ok")
 		ing.mu.Lock()
 		ing.status.Pushes++
 		ing.mu.Unlock()
